@@ -1,0 +1,435 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section VI), plus ablations of DIME+'s design choices and micro-benches
+// of the hot components. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benches (BenchmarkExp*) run scaled-down corpora so the
+// whole suite finishes in minutes; `go run ./cmd/experiments -full` runs the
+// paper-scale sweeps and prints the actual tables.
+package dime_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dime/internal/core"
+	"dime/internal/datagen"
+	"dime/internal/entity"
+	"dime/internal/experiments"
+	"dime/internal/lda"
+	"dime/internal/presets"
+	"dime/internal/rulegen"
+	"dime/internal/rules"
+	"dime/internal/signature"
+	"dime/internal/sim"
+)
+
+// benchOpts is the scaled-down corpus configuration the experiment benches
+// share; the printed tables use larger defaults.
+var benchOpts = experiments.Options{
+	Pages:             8,
+	PubsPerPage:       80,
+	AmazonPerCategory: 30,
+	Seed:              2018,
+}
+
+func runExperiment(b *testing.B, fn func(experiments.Options) ([]experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := fn(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+// BenchmarkExp1Fig6 regenerates Figure 6 (DIME vs CR vs SVM on both
+// datasets, Exp-1/Exp-2).
+func BenchmarkExp1Fig6(b *testing.B) { runExperiment(b, experiments.Exp1) }
+
+// BenchmarkExp3Fig7 regenerates Figure 7 (scrollbar levels on both
+// datasets, Exp-3).
+func BenchmarkExp3Fig7(b *testing.B) { runExperiment(b, experiments.Exp3) }
+
+// BenchmarkExp3Fig8 regenerates Figure 8 (per-page scrollbar results for
+// the 20 named Scholar pages).
+func BenchmarkExp3Fig8(b *testing.B) { runExperiment(b, experiments.Exp3Detail) }
+
+// BenchmarkExp4TableI regenerates Table I (partition-size statistics after
+// the positive rules, Exp-4).
+func BenchmarkExp4TableI(b *testing.B) { runExperiment(b, experiments.Exp4) }
+
+// BenchmarkExp6Fig10 regenerates Figure 10 (rule-generation cross
+// validation, Exp-6).
+func BenchmarkExp6Fig10(b *testing.B) { runExperiment(b, experiments.Exp6) }
+
+// BenchmarkExp5Fig9Scholar regenerates Figure 9(a)'s series: DIME and DIME+
+// runtime on Scholar pages of growing size (CR and SVM are timed by
+// cmd/experiments -exp 5; here the two core algorithms are the series of
+// record).
+func BenchmarkExp5Fig9Scholar(b *testing.B) {
+	cfg := presets.ScholarConfig()
+	rs := presets.ScholarRules(cfg)
+	for _, size := range []int{250, 500, 1000} {
+		g := datagen.Scholar(datagen.ScholarOptions{
+			NumPubs: size, ErrorRate: 0.06, Seed: 11,
+		})
+		b.Run(fmt.Sprintf("DIME/n=%d", g.Size()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DIME(g, core.Options{Config: cfg, Rules: rs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("DIMEPlus/n=%d", g.Size()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DIMEPlus(g, core.Options{Config: cfg, Rules: rs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExp5Fig9Amazon regenerates Figure 9(b)'s series on an Amazon
+// category at 40% error rate.
+func BenchmarkExp5Fig9Amazon(b *testing.B) {
+	for _, size := range []int{400, 800, 1600} {
+		c := datagen.Amazon(datagen.AmazonOptions{
+			ProductsPerCategory: int(float64(size) * 0.6),
+			ErrorRate:           0.40,
+			NearShare:           0.2,
+			Seed:                13,
+			Categories:          []string{"Router", "Adapter", "Blender", "Puzzle"},
+		})
+		g := c.Groups[0]
+		cfg := presets.AmazonConfig(c.TrueTree, c.TrueMapper())
+		rs := presets.AmazonRules(cfg)
+		b.Run(fmt.Sprintf("DIME/n=%d", g.Size()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DIME(g, core.Options{Config: cfg, Rules: rs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("DIMEPlus/n=%d", g.Size()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DIMEPlus(g, core.Options{Config: cfg, Rules: rs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExp5DBGen regenerates the Gen(20k)–Gen(100k) table's comparison
+// at bench-friendly sizes (cmd/experiments -exp 5 -large -full runs the
+// paper's sizes; naive DIME at 100k runs for tens of minutes by design).
+func BenchmarkExp5DBGen(b *testing.B) {
+	cfg := presets.DBGenConfig()
+	rs := presets.DBGenRules(cfg)
+	for _, size := range []int{2000, 5000} {
+		g := datagen.DBGen(datagen.DBGenOptions{NumEntities: size, ErrorRate: 0.10, Seed: 17})
+		b.Run(fmt.Sprintf("DIME/n=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DIME(g, core.Options{Config: cfg, Rules: rs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("DIMEPlus/n=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DIMEPlus(g, core.Options{Config: cfg, Rules: rs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("DIMEPlus/n=20000", func(b *testing.B) {
+		g := datagen.DBGen(datagen.DBGenOptions{NumEntities: 20000, ErrorRate: 0.10, Seed: 17})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.DIMEPlus(g, core.Options{Config: cfg, Rules: rs}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Ablations of the design choices DESIGN.md calls out ---
+
+func scholarBenchGroup() (*datagen.ScholarOptions, *core.Options) {
+	cfg := presets.ScholarConfig()
+	rs := presets.ScholarRules(cfg)
+	gopts := &datagen.ScholarOptions{NumPubs: 600, ErrorRate: 0.06, Seed: 23}
+	return gopts, &core.Options{Config: cfg, Rules: rs}
+}
+
+// BenchmarkAblationNoSignatures compares DIME+ against the no-filter
+// baseline (naive DIME) on the same group.
+func BenchmarkAblationNoSignatures(b *testing.B) {
+	gopts, opts := scholarBenchGroup()
+	g := datagen.Scholar(*gopts)
+	b.Run("with-signatures", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.DIMEPlus(g, *opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Stats.PositiveVerified), "verifications/op")
+		}
+	})
+	b.Run("without-signatures", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.DIME(g, *opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Stats.PositiveVerified), "verifications/op")
+		}
+	})
+}
+
+// BenchmarkAblationNoTransitivity measures the cost of verifying candidate
+// pairs whose partitions are already joined.
+func BenchmarkAblationNoTransitivity(b *testing.B) {
+	gopts, opts := scholarBenchGroup()
+	g := datagen.Scholar(*gopts)
+	for _, disable := range []bool{false, true} {
+		name := "skip-enabled"
+		if disable {
+			name = "skip-disabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			o := *opts
+			o.DisableTransitivitySkip = disable
+			for i := 0; i < b.N; i++ {
+				res, err := core.DIMEPlus(g, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Stats.PositiveVerified), "verifications/op")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBenefitOrder measures the verification-ordering policy:
+// benefit-sorted versus arrival order.
+func BenchmarkAblationBenefitOrder(b *testing.B) {
+	gopts, opts := scholarBenchGroup()
+	g := datagen.Scholar(*gopts)
+	for _, disable := range []bool{false, true} {
+		name := "benefit-order"
+		if disable {
+			name = "arrival-order"
+		}
+		b.Run(name, func(b *testing.B) {
+			o := *opts
+			o.DisableBenefitOrder = disable
+			for i := 0; i < b.N; i++ {
+				res, err := core.DIMEPlus(g, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Stats.PositiveVerified+res.Stats.NegativeVerified), "verifications/op")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSortLimit measures the global-benefit-sort cutoff: a tiny
+// limit forces streaming verification, a huge one forces the full sort.
+func BenchmarkAblationSortLimit(b *testing.B) {
+	gopts, opts := scholarBenchGroup()
+	g := datagen.Scholar(*gopts)
+	for _, limit := range []int{1, 1 << 30} {
+		name := "stream"
+		if limit > 1 {
+			name = "global-sort"
+		}
+		b.Run(name, func(b *testing.B) {
+			o := *opts
+			o.BenefitSortLimit = limit
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DIMEPlus(g, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Component micro-benches ---
+
+func BenchmarkSimilarityFunctions(b *testing.B) {
+	a1 := []string{"nan tang", "xu chu", "ihab ilyas", "paolo papotti", "mourad ouzzani"}
+	a2 := []string{"nan tang", "jeffrey xu yu", "m tamer ozsu"}
+	b.Run("Overlap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.Overlap(a1, a2)
+		}
+	})
+	b.Run("Jaccard", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.Jaccard(a1, a2)
+		}
+	})
+	s1, s2 := "hierarchical indexing approach to support xpath queries", "holistic indexing approaches supporting xpath query workloads"
+	b.Run("EditDistance", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.EditDistance(s1, s2)
+		}
+	})
+	b.Run("EditDistanceBounded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.EditDistanceBounded(s1, s2, 4)
+		}
+	})
+}
+
+func BenchmarkSignatureGeneration(b *testing.B) {
+	cfg := presets.ScholarConfig()
+	rs := presets.ScholarRules(cfg)
+	g := datagen.Scholar(datagen.ScholarOptions{NumPubs: 400, ErrorRate: 0.06, Seed: 31})
+	recs, err := cfg.NewRecords(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Context", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			signature.NewContext(cfg, recs, rs)
+		}
+	})
+	ctx := signature.NewContext(cfg, recs, rs)
+	b.Run("BuildPositive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			signature.BuildPositive(ctx, rs.Positive[1], recs)
+		}
+	})
+	ix := signature.BuildPositive(ctx, rs.Positive[1], recs)
+	b.Run("Candidates", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			ix.ForEach(func(signature.Candidate) { n++ })
+		}
+	})
+}
+
+func BenchmarkLDATrain(b *testing.B) {
+	c := datagen.Amazon(datagen.AmazonOptions{ProductsPerCategory: 20, ErrorRate: 0.1, Seed: 3})
+	docs := c.Descriptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lda.Train(docs, lda.Options{K: 10, Iterations: 20, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRuleGeneration(b *testing.B) {
+	cfg := presets.ScholarConfig()
+	g := datagen.Scholar(datagen.ScholarOptions{NumPubs: 80, ErrorRate: 0.15, Seed: 5})
+	recs, err := cfg.NewRecords(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var good, bad []*rules.Record
+	for _, r := range recs {
+		if g.Truth[r.Entity.ID] {
+			bad = append(bad, r)
+		} else {
+			good = append(good, r)
+		}
+	}
+	var exs []rulegen.Example
+	for i := 0; i < 150; i++ {
+		exs = append(exs, rulegen.Example{A: good[i%len(good)], B: good[(i*7+1)%len(good)], Same: true})
+	}
+	for i := 0; i < 150; i++ {
+		exs = append(exs, rulegen.Example{A: good[i%len(good)], B: bad[i%len(bad)], Same: false})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rulegen.Generate(rulegen.Options{Config: cfg, MaxThresholds: 24}, exs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionAdd measures the incremental path: folding one entity
+// into an existing partitioning (vs. re-running DIME+ from scratch).
+func BenchmarkSessionAdd(b *testing.B) {
+	cfg := presets.ScholarConfig()
+	rs := presets.ScholarRules(cfg)
+	base := datagen.Scholar(datagen.ScholarOptions{NumPubs: 500, ErrorRate: 0.06, Seed: 41})
+	fresh := datagen.Scholar(datagen.ScholarOptions{NumPubs: 500, ErrorRate: 0.06, Seed: 42})
+	b.Run("incremental", func(b *testing.B) {
+		// Sessions mutate their group: start from a copy, and reset every
+		// 2000 adds so the measured cost stays that of a ~500-entity page
+		// rather than of an ever-growing one.
+		var sess *core.Session
+		reset := func() {
+			var err error
+			sess, err = core.NewSession(entityGroupCopy(base), core.Options{Config: cfg, Rules: rs})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		reset()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%2000 == 0 {
+				b.StopTimer()
+				reset()
+				b.StartTimer()
+			}
+			e := fresh.Entities[i%len(fresh.Entities)].Clone()
+			e.ID = fmt.Sprintf("bench-%09d", i)
+			if _, err := sess.Add(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("from-scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.DIMEPlus(base, core.Options{Config: cfg, Rules: rs}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDiscoverAll measures corpus fan-out over the worker pool.
+func BenchmarkDiscoverAll(b *testing.B) {
+	cfg := presets.ScholarConfig()
+	opts := core.Options{Config: cfg, Rules: presets.ScholarRules(cfg)}
+	groups := datagen.ScholarPages(12, 120, 0.06, 51)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DiscoverAll(groups, opts, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// entityGroupCopy deep-copies a group for benchmarks that mutate it.
+func entityGroupCopy(g *entity.Group) *entity.Group {
+	out := entity.NewGroup(g.Name, g.Schema)
+	for _, e := range g.Entities {
+		out.MustAdd(e.Clone())
+	}
+	for id, bad := range g.Truth {
+		if bad {
+			out.MarkMisCategorized(id)
+		}
+	}
+	return out
+}

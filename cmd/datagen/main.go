@@ -1,0 +1,120 @@
+// Command datagen generates the synthetic datasets (Google Scholar pages,
+// Amazon categories, DBGen-style large groups) as JSON files that cmd/dime
+// can analyze.
+//
+// Usage:
+//
+//	datagen -kind scholar [-n 340] [-error 0.06] [-seed 1] [-out page.json]
+//	datagen -kind amazon [-n 60] [-error 0.2] [-category Router] [-out router.json]
+//	datagen -kind dbgen [-n 20000] [-error 0.1] [-out gen.json]
+//
+// Without -out the JSON goes to stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dime/internal/datagen"
+	"dime/internal/entity"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "scholar", "dataset kind: scholar, amazon or dbgen")
+		n        = flag.Int("n", 0, "size (publications per page / products per category / entities)")
+		errRate  = flag.Float64("error", 0.06, "mis-categorized entity rate")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		category = flag.String("category", "Router", "amazon: category to emit")
+		owner    = flag.String("owner", "", "scholar: page owner name")
+		pages    = flag.Int("pages", 0, "scholar: emit a JSON-lines corpus of this many pages")
+		out      = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	if *pages > 0 && *kind == "scholar" {
+		corpus := datagen.ScholarPages(*pages, *n, *errRate, *seed)
+		if err := writeCorpus(*out, corpus); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var g *entity.Group
+	switch *kind {
+	case "scholar":
+		g = datagen.Scholar(datagen.ScholarOptions{
+			Owner: *owner, NumPubs: *n, ErrorRate: *errRate, Seed: *seed,
+		})
+	case "amazon":
+		per := *n
+		if per == 0 {
+			per = 60
+		}
+		corpus := datagen.Amazon(datagen.AmazonOptions{
+			ProductsPerCategory: per, ErrorRate: *errRate, Seed: *seed,
+		})
+		for _, cand := range corpus.Groups {
+			if cand.Name == *category {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			fatal(fmt.Errorf("unknown category %q", *category))
+		}
+	case "dbgen":
+		g = datagen.DBGen(datagen.DBGenOptions{
+			NumEntities: *n, ErrorRate: *errRate, Seed: *seed,
+		})
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+
+	data, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: group %q, %d entities (%d mis-categorized)\n",
+		*out, g.Name, g.Size(), len(g.MisCategorizedIDs()))
+}
+
+// writeCorpus emits a JSON-lines corpus to the output file or stdout.
+func writeCorpus(out string, groups []*entity.Group) error {
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := entity.WriteGroups(w, groups); err != nil {
+		return err
+	}
+	if out != "" {
+		total, errs := 0, 0
+		for _, g := range groups {
+			total += g.Size()
+			errs += len(g.MisCategorizedIDs())
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s: %d groups, %d entities (%d mis-categorized)\n",
+			out, len(groups), total, errs)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dime/internal/datagen"
+	"dime/internal/entity"
+)
+
+func TestWriteCorpus(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.jsonl")
+	groups := datagen.ScholarPages(3, 20, 0.1, 1)
+	if err := writeCorpus(path, groups); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	back, err := entity.ReadGroups(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("groups = %d", len(back))
+	}
+	for i := range back {
+		if back[i].Name != groups[i].Name || back[i].Size() != groups[i].Size() {
+			t.Fatalf("group %d mismatch", i)
+		}
+	}
+}
+
+func TestWriteCorpusBadPath(t *testing.T) {
+	groups := datagen.ScholarPages(1, 10, 0.1, 1)
+	if err := writeCorpus("/nonexistent-dir/x.jsonl", groups); err == nil {
+		t.Fatal("unwritable path should fail")
+	}
+}

@@ -1,0 +1,361 @@
+// Command dime discovers mis-categorized entities in a group loaded from a
+// JSON file (the format cmd/datagen writes: a serialized entity.Group).
+//
+// Usage:
+//
+//	dime -in group.json [-preset scholar|amazon|dbgen] [-level N] [-basic] [-stats] [-why]
+//	dime -in group.json -pos "ov(Authors) >= 2" -pos "..." -neg "ov(Authors) = 0"
+//	dime -in group.json -rules rules.json [-ontology tree.json -tree Venue]
+//	dime -in labeled.json -preset scholar -learn rules.json
+//
+// With a preset, the paper's rule set and record configuration for that
+// dataset are used; -rules loads a rule-set JSON file instead (combined with
+// -preset it reuses the preset's configuration, so on(...) predicates
+// resolve); -pos/-neg parse ad-hoc DSL rules (functions: ov, jac, dice, cos,
+// eds, ed, on). -learn runs the Section-V rule generator over the group's
+// ground truth and writes the learned rule set. The tool prints each
+// scrollbar level's discovered entities, with -why the per-partition
+// witness, and with -stats the work counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dime"
+	"dime/internal/analysis"
+	"dime/internal/datagen"
+	"dime/internal/entity"
+	"dime/internal/metrics"
+	"dime/internal/ontology"
+	"dime/internal/presets"
+	"dime/internal/rulegen"
+	"dime/internal/rules"
+)
+
+type stringsFlag []string
+
+func (s *stringsFlag) String() string { return fmt.Sprint(*s) }
+func (s *stringsFlag) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input file: group JSON, JSON-lines corpus, or CSV (required)")
+		csvSep    = flag.String("csv-sep", "; ", "multi-value separator for CSV cells")
+		csvID     = flag.String("csv-id", "", "CSV column holding entity IDs (default: first column)")
+		preset    = flag.String("preset", "", "rule preset: scholar, amazon or dbgen")
+		rulesFile = flag.String("rules", "", "rule-set JSON file (see dime.MarshalRuleSet for the format)")
+		ontoFile  = flag.String("ontology", "", "ontology JSON file; registers the tree for attributes named in -tree")
+		treeAttrs stringsFlag
+		level     = flag.Int("level", -1, "scrollbar level to report (default: all levels)")
+		basic     = flag.Bool("basic", false, "run the quadratic reference algorithm DIME instead of DIME+")
+		stats     = flag.Bool("stats", false, "print work counters")
+		why       = flag.Bool("why", false, "print the witnessing rule and entity pair per flagged partition")
+		learn     = flag.String("learn", "", "learn a rule set from the group's ground truth and write it to this file")
+		profile   = flag.Bool("profile", false, "profile the group's attributes (coverage, token shape, separability) and exit")
+		pos       stringsFlag
+		neg       stringsFlag
+	)
+	flag.Var(&pos, "pos", "positive rule DSL (repeatable)")
+	flag.Var(&neg, "neg", "negative rule DSL (repeatable)")
+	flag.Var(&treeAttrs, "tree", "attribute to attach the -ontology tree to (repeatable)")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "dime: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	groups, err := loadGroups(*in, *csvID, *csvSep)
+	if err != nil {
+		fatal(err)
+	}
+	if len(groups) > 1 && !*profile && *learn == "" {
+		cfg, rs, err := resolveRules(groups[0], *preset, *rulesFile, *ontoFile, treeAttrs, pos, neg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runCorpus(groups, dime.Options{Config: cfg, Rules: rs}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	g := *groups[0]
+
+	if *profile {
+		if err := printProfile(&g); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *learn != "" {
+		if err := learnRules(&g, *preset, *learn); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	cfg, rs, err := resolveRules(&g, *preset, *rulesFile, *ontoFile, treeAttrs, pos, neg)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := dime.Options{Config: cfg, Rules: rs}
+	var res *dime.Result
+	if *basic {
+		res, err = dime.DiscoverBasic(&g, opts)
+	} else {
+		res, err = dime.Discover(&g, opts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("group %q: %d entities, %d partitions, pivot size %d\n",
+		g.Name, g.Size(), len(res.Partitions), res.PivotSize())
+	for li, lv := range res.Levels {
+		if *level >= 0 && li != *level {
+			continue
+		}
+		fmt.Printf("level %d (+%s): %d mis-categorized\n", li+1, lv.RuleName, len(lv.EntityIDs))
+		for _, id := range lv.EntityIDs {
+			fmt.Printf("  %s\n", id)
+		}
+		if g.Truth != nil {
+			fmt.Printf("  score vs ground truth: %s\n",
+				metrics.Score(lv.EntityIDs, g.MisCategorizedIDs()))
+		}
+	}
+	if *why {
+		fmt.Println("witnesses:")
+		for _, lv := range res.Levels[len(res.Levels)-1:] {
+			for _, pi := range lv.PartitionIndexes {
+				w, ok := res.WitnessOf(pi)
+				if !ok {
+					continue
+				}
+				if w.EntityID == "" {
+					fmt.Printf("  partition %d: every pair provably satisfies %s (signature filter)\n", pi, w.Rule)
+				} else {
+					fmt.Printf("  partition %d: %s holds for (%s, pivot %s)\n", pi, w.Rule, w.EntityID, w.PivotID)
+				}
+			}
+		}
+	}
+	if *stats {
+		fmt.Printf("stats: %+v\n", res.Stats)
+	}
+}
+
+// resolveRules picks the rule source: a -rules file (parsed against the
+// preset's config when -preset is also given, so ontology predicates
+// resolve), a preset's built-in rules, or ad-hoc -pos/-neg DSL flags.
+func resolveRules(g *entity.Group, preset, rulesFile, ontoFile string, treeAttrs, pos, neg []string) (*rules.Config, rules.RuleSet, error) {
+	if rulesFile != "" {
+		var cfg *rules.Config
+		switch preset {
+		case "":
+			cfg = rules.NewConfig(g.Schema)
+		default:
+			presetCfg, _, err := resolveRules(g, preset, "", "", nil, nil, nil)
+			if err != nil {
+				return nil, rules.RuleSet{}, err
+			}
+			cfg = presetCfg
+		}
+		if ontoFile != "" {
+			data, err := os.ReadFile(ontoFile)
+			if err != nil {
+				return nil, rules.RuleSet{}, err
+			}
+			tree, err := ontology.LoadTree(data)
+			if err != nil {
+				return nil, rules.RuleSet{}, err
+			}
+			if len(treeAttrs) == 0 {
+				return nil, rules.RuleSet{}, fmt.Errorf("dime: -ontology needs at least one -tree attribute")
+			}
+			for _, attr := range treeAttrs {
+				cfg.WithTree(attr, tree)
+			}
+		}
+		data, err := os.ReadFile(rulesFile)
+		if err != nil {
+			return nil, rules.RuleSet{}, err
+		}
+		rs, err := rules.LoadRuleSet(cfg, data)
+		return cfg, rs, err
+	}
+	switch preset {
+	case "scholar":
+		cfg := presets.ScholarConfig()
+		return cfg, presets.ScholarRules(cfg), nil
+	case "amazon":
+		// Without a trained topic model, use an oracle-free configuration:
+		// regenerate a reference corpus to learn the description hierarchy
+		// would need the corpus; here we use a corpus-independent true tree.
+		corpus := datagen.Amazon(datagen.AmazonOptions{ProductsPerCategory: 1, Seed: 1})
+		cfg := presets.AmazonConfig(corpus.TrueTree, corpus.TrueMapper())
+		return cfg, presets.AmazonRules(cfg), nil
+	case "dbgen":
+		cfg := presets.DBGenConfig()
+		return cfg, presets.DBGenRules(cfg), nil
+	case "":
+		if len(pos) == 0 || len(neg) == 0 {
+			return nil, rules.RuleSet{}, fmt.Errorf("dime: provide -preset, or at least one -pos and one -neg rule")
+		}
+		cfg := rules.NewConfig(g.Schema)
+		var rs rules.RuleSet
+		for i, dsl := range pos {
+			r, err := rules.Parse(cfg, fmt.Sprintf("pos%d", i+1), rules.Positive, dsl)
+			if err != nil {
+				return nil, rs, err
+			}
+			rs.Positive = append(rs.Positive, r)
+		}
+		for i, dsl := range neg {
+			r, err := rules.Parse(cfg, fmt.Sprintf("neg%d", i+1), rules.Negative, dsl)
+			if err != nil {
+				return nil, rs, err
+			}
+			rs.Negative = append(rs.Negative, r)
+		}
+		return cfg, rs, nil
+	default:
+		return nil, rules.RuleSet{}, fmt.Errorf("dime: unknown preset %q", preset)
+	}
+}
+
+// learnRules samples labelled pairs from the group's ground truth, runs the
+// greedy rule generator (Section V of the paper), and writes the learned
+// rule set as JSON. A preset supplies the record configuration (ontologies,
+// token modes); without one a plain config over the group's schema is used.
+func learnRules(g *entity.Group, preset, outPath string) error {
+	if len(g.Truth) == 0 {
+		return fmt.Errorf("dime: -learn needs a group with ground truth (the \"truth\" field)")
+	}
+	cfg, _, err := resolveRules(g, preset, "", "", nil, []string{"ov(" + g.Schema.Name(0) + ") >= 1"}, []string{"ov(" + g.Schema.Name(0) + ") = 0"})
+	if err != nil {
+		return err
+	}
+	recs, err := cfg.NewRecords(g)
+	if err != nil {
+		return err
+	}
+	var good, bad []*rules.Record
+	for _, r := range recs {
+		if g.Truth[r.Entity.ID] {
+			bad = append(bad, r)
+		} else {
+			good = append(good, r)
+		}
+	}
+	if len(good) < 2 || len(bad) == 0 {
+		return fmt.Errorf("dime: need at least two correct and one mis-categorized entity to learn from")
+	}
+	var exs []rulegen.Example
+	for i := 0; i < 250; i++ {
+		exs = append(exs, rulegen.Example{A: good[(i*7)%len(good)], B: good[(i*13+1)%len(good)], Same: true})
+	}
+	for i := 0; i < 250; i++ {
+		exs = append(exs, rulegen.Example{A: good[(i*11)%len(good)], B: bad[i%len(bad)], Same: false})
+	}
+	rs, err := rulegen.Generate(rulegen.Options{Config: cfg, MaxThresholds: 32}, exs)
+	if err != nil {
+		return err
+	}
+	data, err := rules.MarshalRuleSet(rs)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "learned %d positive and %d negative rules → %s\n",
+		len(rs.Positive), len(rs.Negative), outPath)
+	return nil
+}
+
+// printProfile renders the attribute profile of the group, ranked by
+// separability when ground truth is available.
+func printProfile(g *entity.Group) error {
+	profiles, err := analysis.Profile(g, analysis.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("group %q: %d entities, %d labelled mis-categorized\n\n",
+		g.Name, g.Size(), len(g.MisCategorizedIDs()))
+	fmt.Printf("%-18s %8s %8s %8s %8s %9s %9s %6s\n",
+		"Attribute", "Coverage", "Multi", "AvgVals", "AvgWords", "Distinct", "Separab.", "Mode")
+	for _, p := range analysis.RankBySeparability(profiles) {
+		mode := "elem"
+		if p.SuggestedMode == rules.WordsMode {
+			mode = "words"
+		}
+		sep := "    -"
+		if !math.IsNaN(p.Separability) {
+			sep = fmt.Sprintf("%+.3f", p.Separability)
+		}
+		fmt.Printf("%-18s %8.2f %8.2f %8.1f %8.1f %9.2f %9s %6s\n",
+			p.Name, p.Coverage, p.MultiValued, p.AvgValues, p.AvgWords, p.DistinctRatio, sep, mode)
+	}
+	fmt.Println("\nhigh-separability attributes are where positive and negative rules should look first")
+	return nil
+}
+
+// runCorpus batch-processes a multi-group corpus with DiscoverAll and
+// prints a per-group summary plus (when ground truth is present) the
+// aggregate score of the deepest scrollbar level.
+func runCorpus(groups []*entity.Group, opts dime.Options) error {
+	results, err := dime.DiscoverAll(groups, opts, 0)
+	if err != nil {
+		return err
+	}
+	var scores []metrics.PRF
+	fmt.Printf("%-24s %8s %8s %8s  %s\n", "Group", "Entities", "Pivot", "Flagged", "Score")
+	for i, g := range groups {
+		res := results[i]
+		scoreStr := "-"
+		if g.Truth != nil {
+			s := metrics.Score(res.Final(), g.MisCategorizedIDs())
+			scores = append(scores, s)
+			scoreStr = s.String()
+		}
+		fmt.Printf("%-24s %8d %8d %8d  %s\n", g.Name, g.Size(), res.PivotSize(), len(res.Final()), scoreStr)
+	}
+	if len(scores) > 0 {
+		fmt.Printf("\naggregate (deepest level, %d groups): %s\n", len(scores), metrics.Average(scores))
+	}
+	return nil
+}
+
+// loadGroups reads the input file as CSV (by extension) or as a JSON /
+// JSON-lines corpus.
+func loadGroups(path, csvID, csvSep string) ([]*entity.Group, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(strings.ToLower(path), ".csv") {
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		g, err := entity.ReadGroupCSV(f, name, csvID, csvSep)
+		if err != nil {
+			return nil, err
+		}
+		return []*entity.Group{g}, nil
+	}
+	return entity.ReadGroups(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dime: %v\n", err)
+	os.Exit(1)
+}

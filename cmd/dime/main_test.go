@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dime/internal/datagen"
+)
+
+func TestResolveRulesPresets(t *testing.T) {
+	g := datagen.Scholar(datagen.ScholarOptions{NumPubs: 10, Seed: 1})
+	for _, preset := range []string{"scholar", "dbgen", "amazon"} {
+		cfg, rs, err := resolveRules(g, preset, "", "", nil, nil, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", preset, err)
+		}
+		if cfg == nil || len(rs.Positive) == 0 || len(rs.Negative) == 0 {
+			t.Fatalf("%s: incomplete resolution", preset)
+		}
+	}
+	if _, _, err := resolveRules(g, "nope", "", "", nil, nil, nil); err == nil {
+		t.Fatal("unknown preset should fail")
+	}
+}
+
+func TestResolveRulesDSL(t *testing.T) {
+	g := datagen.Scholar(datagen.ScholarOptions{NumPubs: 10, Seed: 1})
+	cfg, rs, err := resolveRules(g, "", "", "", nil,
+		[]string{"ov(Authors) >= 2"}, []string{"ov(Authors) = 0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Schema.Equal(g.Schema) {
+		t.Fatal("DSL path should use the group's schema")
+	}
+	if rs.Positive[0].Name != "pos1" || rs.Negative[0].Name != "neg1" {
+		t.Fatalf("rule names: %q / %q", rs.Positive[0].Name, rs.Negative[0].Name)
+	}
+	if _, _, err := resolveRules(g, "", "", "", nil, nil, nil); err == nil {
+		t.Fatal("no preset and no rules should fail")
+	}
+	if _, _, err := resolveRules(g, "", "", "", nil, []string{"bad("}, []string{"ov(Authors) = 0"}); err == nil {
+		t.Fatal("bad DSL should fail")
+	}
+}
+
+func TestResolveRulesFromFiles(t *testing.T) {
+	g := datagen.Scholar(datagen.ScholarOptions{NumPubs: 10, Seed: 1})
+	dir := t.TempDir()
+
+	rulesPath := filepath.Join(dir, "rules.json")
+	if err := os.WriteFile(rulesPath, []byte(`{
+		"positive": [{"name": "p", "rule": "ov(Authors) >= 2"}],
+		"negative": [{"name": "n", "rule": "ov(Authors) = 0"}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rs, err := resolveRules(g, "", rulesPath, "", nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Positive[0].Name != "p" {
+		t.Fatalf("loaded rule name = %q", rs.Positive[0].Name)
+	}
+
+	// With an ontology file and a tree attribute, on(...) rules resolve.
+	ontoPath := filepath.Join(dir, "onto.json")
+	if err := os.WriteFile(ontoPath, []byte(`{
+		"label": "Venue",
+		"children": [{"label": "CS", "children": [{"label": "SIGMOD"}, {"label": "VLDB"}]}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rulesPath2 := filepath.Join(dir, "rules2.json")
+	if err := os.WriteFile(rulesPath2, []byte(`{
+		"positive": [{"rule": "ov(Authors) >= 1 && on(Venue) >= 0.6"}],
+		"negative": [{"rule": "on(Venue) <= 0.3"}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, rs2, err := resolveRules(g, "", rulesPath2, ontoPath, []string{"Venue"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Tree("Venue") == nil {
+		t.Fatal("ontology not registered")
+	}
+	if len(rs2.Positive) != 1 {
+		t.Fatal("rules not loaded")
+	}
+	// Ontology without -tree attributes must fail.
+	if _, _, err := resolveRules(g, "", rulesPath2, ontoPath, nil, nil, nil); err == nil {
+		t.Fatal("ontology without tree attributes should fail")
+	}
+	// Missing files must fail.
+	if _, _, err := resolveRules(g, "", filepath.Join(dir, "nope.json"), "", nil, nil, nil); err == nil {
+		t.Fatal("missing rules file should fail")
+	}
+}

@@ -1,0 +1,95 @@
+package dime_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"dime"
+)
+
+func TestReadGroupCSVPublicAPI(t *testing.T) {
+	csvData := `id,Title,Authors,Venue,mis_categorized
+e1,KATARA,Xu Chu; Nan Tang,SIGMOD,
+e2,Oil,Wang; Nan Tang,RSC Advances,true
+`
+	g, err := dime.ReadGroupCSV(strings.NewReader(csvData), "page", "", "; ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 2 || len(g.MisCategorizedIDs()) != 1 {
+		t.Fatalf("size=%d truth=%v", g.Size(), g.MisCategorizedIDs())
+	}
+}
+
+func TestGroupsCorpusPublicAPI(t *testing.T) {
+	g, _, _ := buildVenueGroup()
+	var buf bytes.Buffer
+	if err := dime.WriteGroups(&buf, []*dime.Group{g, g}); err == nil {
+		// Two identical groups are fine at corpus level (names may repeat).
+		back, err := dime.ReadGroups(&buf)
+		if err != nil || len(back) != 2 {
+			t.Fatalf("round trip: %v %v", back, err)
+		}
+	} else {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilePublicAPI(t *testing.T) {
+	g, _, _ := buildVenueGroup()
+	profiles, err := dime.Profile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 3 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	ranked := dime.RankBySeparability(profiles)
+	if len(ranked) != 3 {
+		t.Fatal("ranking lost entries")
+	}
+	// No ground truth on this group: separability must be NaN.
+	for _, p := range profiles {
+		if !math.IsNaN(p.Separability) {
+			t.Fatalf("%s separability should be NaN", p.Name)
+		}
+	}
+}
+
+func TestSessionPublicAPI(t *testing.T) {
+	g, cfg, rs := buildVenueGroup()
+	// Move the intruder out; stream it in through the session.
+	intruder := g.Entities[len(g.Entities)-1]
+	g.Entities = g.Entities[:len(g.Entities)-1]
+
+	sess, err := dime.NewSession(g, dime.Options{Config: cfg, Rules: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Add(intruder); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Final()) != 1 || res.Final()[0] != "x" {
+		t.Fatalf("final = %v", res.Final())
+	}
+}
+
+func TestDiscoverAllPublicAPI(t *testing.T) {
+	g1, cfg, rs := buildVenueGroup()
+	g2, _, _ := buildVenueGroup()
+	results, err := dime.DiscoverAll([]*dime.Group{g1, g2}, dime.Options{Config: cfg, Rules: rs}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if len(res.Final()) != 1 {
+			t.Fatalf("group %d: %v", i, res.Final())
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package dime_test
+
+import (
+	"reflect"
+	"testing"
+
+	"dime"
+)
+
+// buildFigure1 reconstructs the paper's running example through the public
+// API only — this test doubles as the package's usage contract.
+func buildFigure1(t *testing.T) (*dime.Group, dime.Options) {
+	t.Helper()
+	schema := dime.MustSchema("Title", "Authors", "Venue")
+	cfg := dime.NewConfig(schema).
+		WithTokenMode("Title", dime.WordsMode).
+		WithTree("Venue", dime.VenueTree())
+	rs := dime.RuleSet{
+		Positive: []dime.Rule{
+			dime.MustParseRule(cfg, "p1", dime.Positive, "ov(Authors) >= 2"),
+			dime.MustParseRule(cfg, "p2", dime.Positive, "ov(Authors) >= 1 && on(Venue) >= 0.75"),
+		},
+		Negative: []dime.Rule{
+			dime.MustParseRule(cfg, "n1", dime.Negative, "ov(Authors) = 0"),
+			dime.MustParseRule(cfg, "n2", dime.Negative, "ov(Authors) <= 1 && on(Venue) <= 0.25"),
+		},
+	}
+	g := dime.NewGroup("Nan Tang", schema)
+	add := func(id string, authors []string, venue string) {
+		e, err := dime.NewEntity(schema, id, [][]string{{id + " title"}, authors, {venue}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("e1", []string{"Xu Chu", "Ihab F. Ilyas", "Nan Tang"}, "SIGMOD")
+	add("e2", []string{"Nan Tang", "Jeffrey Xu Yu"}, "ICDE")
+	add("e3", []string{"Ihab F. Ilyas", "Nan Tang"}, "VLDB")
+	add("e4", []string{"Yunqing Xia", "NJ Tang"}, "SIGIR")
+	add("e5", []string{"Nan Tang", "Jeffrey Xu Yu", "Guoren Wang"}, "ICPADS")
+	add("e6", []string{"Jianlong Wang", "Nan Tang"}, "RSC Advances")
+	return g, dime.Options{Config: cfg, Rules: rs}
+}
+
+func TestDiscoverPublicAPI(t *testing.T) {
+	g, opts := buildFigure1(t)
+	res, err := dime.Discover(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.MisCategorizedIDs(0); !reflect.DeepEqual(got, []string{"e4"}) {
+		t.Fatalf("level 1 = %v", got)
+	}
+	if got := res.Final(); !reflect.DeepEqual(got, []string{"e4", "e6"}) {
+		t.Fatalf("final = %v", got)
+	}
+	if res.PivotSize() != 4 {
+		t.Fatalf("pivot size = %d", res.PivotSize())
+	}
+}
+
+func TestDiscoverBasicAgrees(t *testing.T) {
+	g, opts := buildFigure1(t)
+	a, err := dime.Discover(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dime.DiscoverBasic(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Final(), b.Final()) {
+		t.Fatalf("DIME+ %v vs DIME %v", a.Final(), b.Final())
+	}
+}
+
+func TestGenerateRulesPublicAPI(t *testing.T) {
+	g, opts := buildFigure1(t)
+	correct := map[string]bool{"e1": true, "e2": true, "e3": true, "e5": true}
+	var examples []dime.Example
+	for i, a := range g.Entities {
+		for _, b := range g.Entities[i+1:] {
+			switch {
+			case correct[a.ID] && correct[b.ID]:
+				examples = append(examples, dime.Example{A: a, B: b, Same: true})
+			case correct[a.ID] != correct[b.ID]:
+				examples = append(examples, dime.Example{A: a, B: b, Same: false})
+			}
+		}
+	}
+	rs, err := dime.GenerateRules(opts.Config, examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Positive) == 0 || len(rs.Negative) == 0 {
+		t.Fatalf("generated rule set incomplete: %+v", rs)
+	}
+	// The learned rules must reproduce the paper's outcome end-to-end.
+	res, err := dime.Discover(g, dime.Options{Config: opts.Config, Rules: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Final(); !reflect.DeepEqual(got, []string{"e4", "e6"}) {
+		t.Fatalf("learned rules discovered %v, want [e4 e6]", got)
+	}
+}
+
+func TestParseRuleErrorsSurface(t *testing.T) {
+	schema := dime.MustSchema("A")
+	cfg := dime.NewConfig(schema)
+	if _, err := dime.ParseRule(cfg, "bad", dime.Positive, "nope(A) >= 1"); err == nil {
+		t.Fatal("bad DSL should error")
+	}
+}

@@ -1,0 +1,124 @@
+package dime_test
+
+import (
+	"fmt"
+	"log"
+
+	"dime"
+)
+
+// buildVenueGroup assembles a tiny publication group with one intruder.
+func buildVenueGroup() (*dime.Group, *dime.Config, dime.RuleSet) {
+	schema := dime.MustSchema("Title", "Authors", "Venue")
+	cfg := dime.NewConfig(schema).
+		WithTokenMode("Title", dime.WordsMode).
+		WithTree("Venue", dime.VenueTree())
+	rs := dime.RuleSet{
+		Positive: []dime.Rule{
+			dime.MustParseRule(cfg, "p1", dime.Positive, "ov(Authors) >= 1 && on(Venue) >= 0.75"),
+		},
+		Negative: []dime.Rule{
+			dime.MustParseRule(cfg, "n1", dime.Negative, "ov(Authors) = 0"),
+		},
+	}
+	g := dime.NewGroup("demo", schema)
+	add := func(id string, authors []string, venue string) {
+		e, err := dime.NewEntity(schema, id, [][]string{{id}, authors, {venue}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := g.Add(e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	add("a", []string{"Ada"}, "SIGMOD")
+	add("b", []string{"Ada", "Bob"}, "VLDB")
+	add("c", []string{"Ada"}, "ICDE")
+	add("x", []string{"Mallory"}, "RSC Advances")
+	return g, cfg, rs
+}
+
+// Example demonstrates the end-to-end flow: configure, write rules,
+// discover.
+func Example() {
+	g, cfg, rs := buildVenueGroup()
+	res, err := dime.Discover(g, dime.Options{Config: cfg, Rules: rs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pivot size:", res.PivotSize())
+	fmt.Println("mis-categorized:", res.Final())
+	// Output:
+	// pivot size: 3
+	// mis-categorized: [x]
+}
+
+// ExampleParseRule shows the rule DSL.
+func ExampleParseRule() {
+	schema := dime.MustSchema("Name", "Tags")
+	cfg := dime.NewConfig(schema)
+	r, err := dime.ParseRule(cfg, "demo", dime.Positive, "jac(Name) >= 0.5 && ov(Tags) >= 2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r)
+	// Output:
+	// demo: jac(Name) >= 0.5 && ov(Tags) >= 2
+}
+
+// ExampleResult_WitnessOf shows the evidence attached to each flagged
+// partition.
+func ExampleResult_WitnessOf() {
+	g, cfg, rs := buildVenueGroup()
+	res, err := dime.DiscoverBasic(g, dime.Options{Config: cfg, Rules: rs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for pi := range res.Partitions {
+		if w, ok := res.WitnessOf(pi); ok {
+			fmt.Printf("flagged because %s holds for (%s, %s)\n", w.Rule, w.EntityID, w.PivotID)
+		}
+	}
+	// Output:
+	// flagged because n1 holds for (x, a)
+}
+
+// ExampleLoadRuleSet shows round-tripping rules through their JSON form.
+func ExampleLoadRuleSet() {
+	schema := dime.MustSchema("Authors")
+	cfg := dime.NewConfig(schema)
+	rs := dime.RuleSet{
+		Positive: []dime.Rule{dime.MustParseRule(cfg, "p", dime.Positive, "ov(Authors) >= 2")},
+		Negative: []dime.Rule{dime.MustParseRule(cfg, "n", dime.Negative, "ov(Authors) = 0")},
+	}
+	data, err := dime.MarshalRuleSet(rs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := dime.LoadRuleSet(cfg, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(back.Positive[0])
+	// Output:
+	// p: ov(Authors) >= 2
+}
+
+// ExampleLoadOntology shows a hand-written ontology.
+func ExampleLoadOntology() {
+	tree, err := dime.LoadOntology([]byte(`{
+		"label": "Products",
+		"children": [
+			{"label": "Electronics", "children": [{"label": "Router"}, {"label": "Adapter"}]},
+			{"label": "Beauty", "children": [{"label": "Shampoo"}]}
+		]
+	}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.2f\n", tree.ValueSimilarity("Router", "Adapter"))
+	fmt.Printf("%.2f\n", tree.ValueSimilarity("Router", "Shampoo"))
+	// Output:
+	// 0.67
+	// 0.33
+}

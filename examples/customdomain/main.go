@@ -1,0 +1,102 @@
+// Customdomain applies DIME to a domain the library has no preset for — a
+// music streaming service's "Jazz Essentials" playlist polluted with
+// mis-filed tracks — using only the public API: a hand-written genre
+// ontology (JSON), a rule set loaded from its JSON form, approximate
+// ontology matching for noisy genre strings, and per-partition witnesses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dime"
+)
+
+const genreOntology = `{
+  "label": "Genres",
+  "children": [
+    {"label": "Jazz", "children": [
+      {"label": "Bebop"}, {"label": "Cool Jazz"}, {"label": "Swing"}, {"label": "Fusion"}
+    ]},
+    {"label": "Classical", "children": [
+      {"label": "Baroque"}, {"label": "Romantic"}
+    ]},
+    {"label": "Electronic", "children": [
+      {"label": "House"}, {"label": "Techno"}
+    ]}
+  ]
+}`
+
+const ruleSetJSON = `{
+  "positive": [
+    {"name": "same-artists", "rule": "ov(Artists) >= 1"},
+    {"name": "same-subgenre", "rule": "on(Genre) >= 0.75 && jac(Title) >= 0.05"}
+  ],
+  "negative": [
+    {"name": "no-artist-overlap", "rule": "ov(Artists) = 0 && on(Genre) <= 0.4"},
+    {"name": "foreign-genre", "rule": "ov(Artists) <= 1 && on(Genre) <= 0.34"}
+  ]
+}`
+
+func main() {
+	schema := dime.MustSchema("Title", "Artists", "Genre")
+
+	tree, err := dime.LoadOntology([]byte(genreOntology))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := dime.NewConfig(schema).
+		WithTokenMode("Title", dime.WordsMode).
+		WithTree("Genre", tree).
+		// Streaming metadata is messy ("BeBop!", "cool-jazz"); map genre
+		// strings approximately instead of exactly.
+		WithMapper("Genre", tree.ApproxMapper(0.7))
+
+	ruleSet, err := dime.LoadRuleSet(cfg, []byte(ruleSetJSON))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	playlist := dime.NewGroup("Jazz Essentials", schema)
+	add := func(id, title string, artists []string, genre string) {
+		e, err := dime.NewEntity(schema, id, [][]string{{title}, artists, {genre}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := playlist.Add(e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// The core of the playlist: bebop and cool-jazz tracks with overlapping
+	// personnel (Davis plays on both sides of the 1950s divide).
+	add("t1", "So What", []string{"Miles Davis", "Bill Evans"}, "Cool Jazz")
+	add("t2", "Blue in Green", []string{"Miles Davis", "Bill Evans"}, "cool-jazz") // messy genre string
+	add("t3", "Ornithology", []string{"Charlie Parker", "Miles Davis"}, "Bebop")
+	add("t4", "Ko-Ko", []string{"Charlie Parker", "Dizzy Gillespie"}, "BeBop!") // messy again
+	add("t5", "Take Five", []string{"Dave Brubeck", "Paul Desmond"}, "Cool Jazz")
+	add("t6", "A Night in Tunisia", []string{"Dizzy Gillespie"}, "Bebop")
+	// Mis-filed tracks.
+	add("x1", "Brandenburg Concerto No 3", []string{"J S Bach"}, "Baroque")
+	add("x2", "One More Time", []string{"Daft Punk"}, "House")
+
+	res, err := dime.Discover(playlist, dime.Options{Config: cfg, Rules: ruleSet})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("playlist %q: %d tracks, %d partitions, pivot %d tracks\n",
+		playlist.Name, playlist.Size(), len(res.Partitions), res.PivotSize())
+	for li, lv := range res.Levels {
+		fmt.Printf("level %d (%s): %v\n", li+1, lv.RuleName, lv.EntityIDs)
+	}
+	fmt.Println("\nwhy:")
+	for pi := range res.Partitions {
+		if w, ok := res.WitnessOf(pi); ok {
+			if w.EntityID == "" {
+				fmt.Printf("  partition %d: every pair provably satisfies %s\n", pi, w.Rule)
+			} else {
+				fmt.Printf("  %s is out: %s holds against pivot track %s\n", w.EntityID, w.Rule, w.PivotID)
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Quickstart builds the paper's running example (Figure 1: six publications
+// on Nan Tang's Google Scholar page, two of which belong to other people)
+// and walks the full DIME pipeline: positive rules partition the group, the
+// largest partition becomes the pivot, and the negative rules reveal the
+// mis-categorized entities level by level.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dime"
+)
+
+func main() {
+	schema := dime.MustSchema("Title", "Authors", "Venue")
+
+	// The record configuration: titles compare as word sets, author lists as
+	// whole names, and venues through the built-in publication ontology
+	// (so SIGMOD and VLDB count as highly similar even though the strings
+	// share nothing).
+	cfg := dime.NewConfig(schema).
+		WithTokenMode("Title", dime.WordsMode).
+		WithTree("Venue", dime.VenueTree())
+
+	// The rules of the paper's Example 2, written in the DSL.
+	ruleSet := dime.RuleSet{
+		Positive: []dime.Rule{
+			dime.MustParseRule(cfg, "phi+1", dime.Positive, "ov(Authors) >= 2"),
+			dime.MustParseRule(cfg, "phi+2", dime.Positive, "ov(Authors) >= 1 && on(Venue) >= 0.75"),
+		},
+		Negative: []dime.Rule{
+			dime.MustParseRule(cfg, "phi-1", dime.Negative, "ov(Authors) = 0"),
+			dime.MustParseRule(cfg, "phi-2", dime.Negative, "ov(Authors) <= 1 && on(Venue) <= 0.25"),
+		},
+	}
+
+	group := dime.NewGroup("Nan Tang", schema)
+	add := func(id, title string, authors []string, venue string) {
+		e, err := dime.NewEntity(schema, id, [][]string{{title}, authors, {venue}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := group.Add(e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	add("e1", "KATARA: a data cleaning system powered by knowledge bases and crowdsourcing",
+		[]string{"Xu Chu", "John Morcos", "Ihab F. Ilyas", "Mourad Ouzzani", "Paolo Papotti", "Nan Tang"}, "SIGMOD")
+	add("e2", "Hierarchical indexing approach to support xpath queries",
+		[]string{"Nan Tang", "Jeffrey Xu Yu", "M. Tamer Özsu", "Kam-Fai Wong"}, "ICDE")
+	add("e3", "NADEEF: a generalized data cleaning system",
+		[]string{"Amr Ebaid", "Ahmed Elmagarmid", "Ihab F. Ilyas", "Nan Tang"}, "VLDB")
+	add("e4", "Discriminative bi-term topic model for social news clustering",
+		[]string{"Yunqing Xia", "NJ Tang", "Amir Hussain", "Erik Cambria"}, "SIGIR")
+	add("e5", "Win: an efficient data placement strategy for parallel xml databases",
+		[]string{"Nan Tang", "Guoren Wang", "Jeffrey Xu Yu"}, "ICPADS")
+	add("e6", "Extractive and oxidative desulfurization of model oil in polyethylene glycol",
+		[]string{"Jianlong Wang", "Rijie Zhao", "Baixin Han", "Nan Tang", "Kaixi Li"}, "RSC Advances")
+
+	res, err := dime.Discover(group, dime.Options{Config: cfg, Rules: ruleSet})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("partitions (%d total, pivot has %d entities):\n", len(res.Partitions), res.PivotSize())
+	for pi, part := range res.Partitions {
+		marker := " "
+		if pi == res.Pivot {
+			marker = "*"
+		}
+		ids := make([]string, len(part))
+		for k, ei := range part {
+			ids[k] = group.Entities[ei].ID
+		}
+		fmt.Printf("  %s P%d: %v\n", marker, pi+1, ids)
+	}
+
+	fmt.Println("\nscrollbar:")
+	for li, lv := range res.Levels {
+		fmt.Printf("  level %d (%s): %v\n", li+1, lv.RuleName, lv.EntityIDs)
+	}
+	fmt.Println("\nThe conservative level flags only e4 (no shared author with the")
+	fmt.Println("pivot); sliding one level further also reveals e6, the chemist's")
+	fmt.Println("publication — exactly the paper's walk-through.")
+}

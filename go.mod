@@ -1,0 +1,3 @@
+module dime
+
+go 1.22

@@ -1,0 +1,219 @@
+// Package analysis profiles a group before rules exist: per-attribute
+// statistics (coverage, multi-valuedness, token shape, distinctness),
+// suggested token modes, and — when ground truth is present — a
+// separability score per attribute that estimates how well that attribute's
+// similarity distinguishes correct pairs from mis-categorized ones. The
+// profile is where rule writing (or rule generation) starts on a new domain.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dime/internal/entity"
+	"dime/internal/rules"
+	"dime/internal/sim"
+	"dime/internal/tokenize"
+)
+
+// AttributeProfile summarizes one attribute of a group.
+type AttributeProfile struct {
+	// Name is the attribute name.
+	Name string
+	// Coverage is the fraction of entities with at least one value.
+	Coverage float64
+	// MultiValued is the fraction of entities with more than one value.
+	MultiValued float64
+	// AvgValues is the mean value-list length over covered entities.
+	AvgValues float64
+	// AvgWords is the mean word count per value over covered entities.
+	AvgWords float64
+	// DistinctRatio is distinct(normalized joined values) / covered — near 1
+	// for identifier-like attributes, near 0 for categorical ones.
+	DistinctRatio float64
+	// SuggestedMode is the token mode a rule config should use: Elements for
+	// genuinely multi-valued attributes, WordsMode for free text.
+	SuggestedMode rules.TokenMode
+	// MeanPairSim is the mean pairwise Jaccard over the sampled pairs
+	// (under the suggested token mode).
+	MeanPairSim float64
+	// Separability is mean sim(correct, correct) − mean sim(correct,
+	// mis-categorized) over the sampled pairs; NaN when the group carries no
+	// ground truth. Attributes with high separability are where positive and
+	// negative rules should look first.
+	Separability float64
+}
+
+// Options tunes profiling.
+type Options struct {
+	// SamplePairs bounds the sampled entity pairs per statistic; 0 means 2000.
+	SamplePairs int
+	// Seed drives sampling.
+	Seed int64
+}
+
+// Profile computes per-attribute statistics for a group.
+func Profile(g *entity.Group, opts Options) ([]AttributeProfile, error) {
+	if g == nil || g.Schema == nil {
+		return nil, fmt.Errorf("analysis: nil group or schema")
+	}
+	if g.Size() == 0 {
+		return nil, fmt.Errorf("analysis: empty group")
+	}
+	if opts.SamplePairs == 0 {
+		opts.SamplePairs = 2000
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := g.Size()
+
+	profiles := make([]AttributeProfile, g.Schema.Len())
+	for ai := 0; ai < g.Schema.Len(); ai++ {
+		p := AttributeProfile{Name: g.Schema.Name(ai), Separability: math.NaN()}
+		covered := 0
+		multi := 0
+		totalValues := 0
+		totalWords := 0
+		distinct := map[string]struct{}{}
+		for _, e := range g.Entities {
+			vs := e.Value(ai)
+			if len(vs) == 0 || (len(vs) == 1 && vs[0] == "") {
+				continue
+			}
+			covered++
+			totalValues += len(vs)
+			if len(vs) > 1 {
+				multi++
+			}
+			for _, v := range vs {
+				totalWords += len(tokenize.Words(v))
+			}
+			distinct[normalizeJoined(vs)] = struct{}{}
+		}
+		if covered > 0 {
+			p.Coverage = float64(covered) / float64(n)
+			p.MultiValued = float64(multi) / float64(covered)
+			p.AvgValues = float64(totalValues) / float64(covered)
+			p.AvgWords = float64(totalWords) / float64(totalValues)
+			p.DistinctRatio = float64(len(distinct)) / float64(covered)
+		}
+		p.SuggestedMode = suggestMode(p)
+
+		// Pairwise statistics under the suggested mode.
+		tokensOf := func(e *entity.Entity) []string {
+			if p.SuggestedMode == rules.WordsMode {
+				return tokenize.Set(e.Joined(ai))
+			}
+			vs := e.Value(ai)
+			out := make([]string, 0, len(vs))
+			for _, v := range vs {
+				out = append(out, normalizeValue(v))
+			}
+			return tokenize.Dedup(out)
+		}
+		var all, pos, neg []float64
+		for k := 0; k < opts.SamplePairs && n >= 2; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			a, b := g.Entities[i], g.Entities[j]
+			s := sim.Jaccard(tokensOf(a), tokensOf(b))
+			all = append(all, s)
+			if g.Truth != nil {
+				badA, badB := g.Truth[a.ID], g.Truth[b.ID]
+				switch {
+				case !badA && !badB:
+					pos = append(pos, s)
+				case badA != badB:
+					neg = append(neg, s)
+				}
+			}
+		}
+		p.MeanPairSim = mean(all)
+		if len(pos) >= 10 && len(neg) >= 10 {
+			p.Separability = mean(pos) - mean(neg)
+		}
+		profiles[ai] = p
+	}
+	return profiles, nil
+}
+
+// SuggestConfig builds a rule config from a profile: token modes set per
+// attribute. Ontology trees cannot be inferred and stay unset.
+func SuggestConfig(g *entity.Group, profiles []AttributeProfile) *rules.Config {
+	cfg := rules.NewConfig(g.Schema)
+	for _, p := range profiles {
+		cfg.WithTokenMode(p.Name, p.SuggestedMode)
+	}
+	return cfg
+}
+
+// RankBySeparability returns the profiles ordered most-discriminative first
+// (NaN separability sorts last); ties break by name.
+func RankBySeparability(profiles []AttributeProfile) []AttributeProfile {
+	out := append([]AttributeProfile(nil), profiles...)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := out[i].Separability, out[j].Separability
+		switch {
+		case math.IsNaN(si) && math.IsNaN(sj):
+			return out[i].Name < out[j].Name
+		case math.IsNaN(si):
+			return false
+		case math.IsNaN(sj):
+			return true
+		case si != sj:
+			return si > sj
+		default:
+			return out[i].Name < out[j].Name
+		}
+	})
+	return out
+}
+
+// suggestMode picks Elements for genuinely multi-valued attributes and for
+// short categorical values; WordsMode for longer free text.
+func suggestMode(p AttributeProfile) rules.TokenMode {
+	if p.MultiValued > 0.2 {
+		return rules.Elements
+	}
+	if p.AvgWords >= 3 {
+		return rules.WordsMode
+	}
+	return rules.Elements
+}
+
+func normalizeJoined(vs []string) string {
+	out := ""
+	for i, v := range vs {
+		if i > 0 {
+			out += "\x1f"
+		}
+		out += normalizeValue(v)
+	}
+	return out
+}
+
+func normalizeValue(v string) string {
+	ws := tokenize.Words(v)
+	out := ""
+	for i, w := range ws {
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

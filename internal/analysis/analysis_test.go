@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"dime/internal/datagen"
+	"dime/internal/fixtures"
+	"dime/internal/rules"
+)
+
+func TestProfileFigure1(t *testing.T) {
+	g := fixtures.Figure1Group()
+	profiles, err := Profile(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 3 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	byName := map[string]AttributeProfile{}
+	for _, p := range profiles {
+		byName[p.Name] = p
+	}
+	authors := byName["Authors"]
+	if authors.SuggestedMode != rules.Elements {
+		t.Fatal("Authors should suggest element tokens")
+	}
+	if authors.MultiValued < 0.9 {
+		t.Fatalf("Authors multi-valued = %v", authors.MultiValued)
+	}
+	title := byName["Title"]
+	if title.SuggestedMode != rules.WordsMode {
+		t.Fatal("Title should suggest word tokens")
+	}
+	if title.DistinctRatio != 1 {
+		t.Fatalf("titles are unique; distinct ratio = %v", title.DistinctRatio)
+	}
+	venue := byName["Venue"]
+	if venue.Coverage != 1 {
+		t.Fatalf("venue coverage = %v", venue.Coverage)
+	}
+}
+
+// TestSeparabilityOrdersAttributes: on a generated Scholar page, Authors
+// must be (near) the most separating attribute and noise attributes like
+// Date near the bottom — the insight the paper's rule choices encode.
+func TestSeparabilityOrdersAttributes(t *testing.T) {
+	g := datagen.Scholar(datagen.ScholarOptions{NumPubs: 150, ErrorRate: 0.15, Seed: 4})
+	profiles, err := Profile(g, Options{SamplePairs: 6000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := RankBySeparability(profiles)
+	top2 := []string{ranked[0].Name, ranked[1].Name}
+	foundAuthors := false
+	for _, n := range top2 {
+		if n == "Authors" {
+			foundAuthors = true
+		}
+	}
+	if !foundAuthors {
+		t.Fatalf("Authors should rank in the top 2 separating attributes, got %v", top2)
+	}
+	// Date must not be the most separating attribute.
+	if ranked[0].Name == "Date" {
+		t.Fatal("Date ranked first; separability is broken")
+	}
+	for _, p := range profiles {
+		if !math.IsNaN(p.Separability) && (p.Separability < -1 || p.Separability > 1) {
+			t.Fatalf("%s separability out of range: %v", p.Name, p.Separability)
+		}
+	}
+}
+
+func TestProfileWithoutTruth(t *testing.T) {
+	g := fixtures.Figure1Group()
+	g.Truth = nil
+	profiles, err := Profile(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range profiles {
+		if !math.IsNaN(p.Separability) {
+			t.Fatalf("%s: separability should be NaN without truth", p.Name)
+		}
+	}
+}
+
+func TestSuggestConfigCompiles(t *testing.T) {
+	g := fixtures.Figure1Group()
+	profiles, err := Profile(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SuggestConfig(g, profiles)
+	recs, err := cfg.NewRecords(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != g.Size() {
+		t.Fatal("records missing")
+	}
+	// Title must be word-tokenized under the suggested config.
+	ti, _ := g.Schema.Index("Title")
+	if len(recs[0].Tokens[ti]) < 3 {
+		t.Fatalf("title tokens = %v", recs[0].Tokens[ti])
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	if _, err := Profile(nil, Options{}); err == nil {
+		t.Fatal("nil group should fail")
+	}
+	g := fixtures.Figure1Group()
+	g.Entities = nil
+	if _, err := Profile(g, Options{}); err == nil {
+		t.Fatal("empty group should fail")
+	}
+}

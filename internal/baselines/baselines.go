@@ -1,0 +1,61 @@
+// Package baselines defines the common interface of the comparison systems
+// the paper evaluates against (CR, SVM, DecisionTree, SIFI, k-means) and the
+// pairwise feature extraction they share.
+package baselines
+
+import (
+	"dime/internal/entity"
+	"dime/internal/rules"
+	"dime/internal/sim"
+)
+
+// Discoverer is anything that can find mis-categorized entities in a group.
+type Discoverer interface {
+	// Name identifies the method in experiment output.
+	Name() string
+	// Discover returns the IDs of the entities it believes are
+	// mis-categorized.
+	Discover(g *entity.Group) ([]string, error)
+}
+
+// FeatureNames lists, for a config, the feature vector layout Features
+// produces: per attribute a Jaccard feature and a normalized-overlap
+// feature, plus an ontology-similarity feature for attributes with trees.
+func FeatureNames(cfg *rules.Config) []string {
+	var names []string
+	for i := 0; i < cfg.Schema.Len(); i++ {
+		a := cfg.Schema.Name(i)
+		names = append(names, "jac("+a+")", "nov("+a+")")
+		if cfg.Tree(a) != nil {
+			names = append(names, "on("+a+")")
+		}
+	}
+	return names
+}
+
+// Features computes the pairwise similarity feature vector of two records —
+// the representation the paper's SVM and DecisionTree baselines train on
+// ("the features ... were the similarities between two entities").
+func Features(cfg *rules.Config, a, b *rules.Record) []float64 {
+	var out []float64
+	for i := 0; i < cfg.Schema.Len(); i++ {
+		ta, tb := a.Tokens[i], b.Tokens[i]
+		out = append(out, sim.Jaccard(ta, tb), normalizedOverlap(ta, tb))
+		if tree := cfg.Tree(cfg.Schema.Name(i)); tree != nil {
+			out = append(out, tree.Similarity(a.Nodes[i], b.Nodes[i]))
+		}
+	}
+	return out
+}
+
+// normalizedOverlap is |a∩b| / min(|a|,|b|), in [0,1].
+func normalizedOverlap(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	return float64(sim.Overlap(a, b)) / float64(m)
+}

@@ -1,0 +1,49 @@
+package baselines
+
+import (
+	"testing"
+
+	"dime/internal/fixtures"
+)
+
+func TestFeaturesShapeAndRange(t *testing.T) {
+	g := fixtures.Figure1Group()
+	cfg := fixtures.ScholarConfig()
+	recs, err := cfg.NewRecords(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := FeatureNames(cfg)
+	// 3 attributes × 2 features + 1 ontology feature for Venue.
+	if len(names) != 7 {
+		t.Fatalf("feature names = %v", names)
+	}
+	for i := range recs {
+		for j := i + 1; j < len(recs); j++ {
+			f := Features(cfg, recs[i], recs[j])
+			if len(f) != len(names) {
+				t.Fatalf("feature width %d != %d", len(f), len(names))
+			}
+			for k, v := range f {
+				if v < 0 || v > 1 {
+					t.Fatalf("feature %s = %v out of [0,1]", names[k], v)
+				}
+			}
+		}
+	}
+}
+
+func TestFeaturesIdentityPair(t *testing.T) {
+	g := fixtures.Figure1Group()
+	cfg := fixtures.ScholarConfig()
+	recs, err := cfg.NewRecords(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Features(cfg, recs[0], recs[0])
+	for k, v := range f {
+		if v != 1 {
+			t.Fatalf("self-pair feature %d = %v, want 1", k, v)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package cr
+
+import (
+	"testing"
+
+	"dime/internal/datagen"
+	"dime/internal/fixtures"
+	"dime/internal/metrics"
+	"dime/internal/presets"
+)
+
+func TestClusterFigure1(t *testing.T) {
+	g := fixtures.Figure1Group()
+	c := New(Options{Config: fixtures.ScholarConfig(), Threshold: 0.9})
+	clusters, err := c.Cluster(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, cl := range clusters {
+		total += len(cl)
+	}
+	if total != g.Size() {
+		t.Fatalf("clusters cover %d of %d entities", total, g.Size())
+	}
+}
+
+func TestDiscoverReportsNonLargest(t *testing.T) {
+	g := fixtures.Figure1Group()
+	c := New(Options{Config: fixtures.ScholarConfig(), Threshold: 0.6})
+	found, err := c.Discover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CR (symbolic only) at threshold 0.6 should flag entities; they must
+	// not constitute the whole group.
+	if len(found) == g.Size() {
+		t.Fatal("CR flagged everything")
+	}
+}
+
+// TestCRWeakerThanDIME encodes Exp-1's headline: on a synthetic Scholar page
+// CR's F-measure is below what the DIME rule set achieves.
+func TestCRWeakerThanDIME(t *testing.T) {
+	g := datagen.Scholar(datagen.ScholarOptions{NumPubs: 120, ErrorRate: 0.08, Seed: 21})
+	truth := g.MisCategorizedIDs()
+
+	best := metrics.PRF{}
+	for _, th := range []float64{0.5, 0.6, 0.7} {
+		c := New(Options{Config: presets.ScholarConfig(), Threshold: th})
+		found, err := c.Discover(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := metrics.Score(found, truth); s.F1 > best.F1 {
+			best = s
+		}
+	}
+	if best.F1 >= 0.95 {
+		t.Fatalf("CR unexpectedly near-perfect (%v); the baseline should struggle", best)
+	}
+}
+
+func TestMaxEntitiesGuard(t *testing.T) {
+	g := fixtures.Figure1Group()
+	c := New(Options{Config: fixtures.ScholarConfig(), MaxEntities: 2})
+	if _, err := c.Cluster(g); err == nil {
+		t.Fatal("MaxEntities guard should trigger")
+	}
+}
+
+func TestEmptyGroup(t *testing.T) {
+	g := fixtures.Figure1Group()
+	g.Entities = nil
+	c := New(Options{Config: fixtures.ScholarConfig()})
+	clusters, err := c.Cluster(g)
+	if err != nil || clusters != nil {
+		t.Fatalf("empty group: %v, %v", clusters, err)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(Options{Threshold: 0.5}).Name() != "CR(0.5)" {
+		t.Fatal("name format")
+	}
+}

@@ -1,0 +1,224 @@
+// Package dtree implements the DecisionTree rule-generation baseline of
+// Exp-6 (Gokhale et al., "Corleone", SIGMOD 2014 use decision trees to learn
+// matching rules): a CART-style binary tree with Gini impurity over pairwise
+// similarity features, depth-limited (the paper runs depth 4). Root-to-leaf
+// paths of the trained tree are the learned rules.
+package dtree
+
+import (
+	"fmt"
+	"sort"
+
+	"dime/internal/baselines"
+	"dime/internal/rules"
+)
+
+// Options configures training.
+type Options struct {
+	// Config supplies feature extraction.
+	Config *rules.Config
+	// MaxDepth limits tree depth; 0 means 4 (the paper's setting).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf; 0 means 2.
+	MinLeaf int
+}
+
+// Example is a labelled training pair.
+type Example struct {
+	A, B *rules.Record
+	Same bool
+}
+
+// Tree is a trained decision tree.
+type Tree struct {
+	opts  Options
+	root  *node
+	names []string
+}
+
+type node struct {
+	// leaf fields
+	isLeaf bool
+	label  bool
+	// split fields
+	feature   int
+	threshold float64
+	left      *node // feature <= threshold
+	right     *node // feature > threshold
+}
+
+// Train fits a CART tree on labelled pairs.
+func Train(opts Options, examples []Example) (*Tree, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("dtree: no training examples")
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 4
+	}
+	if opts.MinLeaf == 0 {
+		opts.MinLeaf = 2
+	}
+	X := make([][]float64, len(examples))
+	y := make([]bool, len(examples))
+	for i, ex := range examples {
+		X[i] = baselines.Features(opts.Config, ex.A, ex.B)
+		y[i] = ex.Same
+	}
+	t := &Tree{opts: opts, names: baselines.FeatureNames(opts.Config)}
+	idx := make([]int, len(examples))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(X, y, idx, 0)
+	return t, nil
+}
+
+func majority(y []bool, idx []int) bool {
+	pos := 0
+	for _, i := range idx {
+		if y[i] {
+			pos++
+		}
+	}
+	return pos*2 >= len(idx)
+}
+
+func gini(y []bool, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	pos := 0
+	for _, i := range idx {
+		if y[i] {
+			pos++
+		}
+	}
+	p := float64(pos) / float64(len(idx))
+	return 2 * p * (1 - p)
+}
+
+func (t *Tree) build(X [][]float64, y []bool, idx []int, depth int) *node {
+	if depth >= t.opts.MaxDepth || len(idx) < 2*t.opts.MinLeaf || pure(y, idx) {
+		return &node{isLeaf: true, label: majority(y, idx)}
+	}
+	bestFeat, bestThr, bestGain := -1, 0.0, 0.0
+	parentGini := gini(y, idx)
+	dim := len(X[idx[0]])
+	for f := 0; f < dim; f++ {
+		// Candidate thresholds: midpoints of consecutive distinct sorted
+		// values.
+		vals := make([]float64, len(idx))
+		for k, i := range idx {
+			vals[k] = X[i][f]
+		}
+		sort.Float64s(vals)
+		for k := 1; k < len(vals); k++ {
+			if vals[k] == vals[k-1] {
+				continue
+			}
+			thr := (vals[k] + vals[k-1]) / 2
+			var li, ri []int
+			for _, i := range idx {
+				if X[i][f] <= thr {
+					li = append(li, i)
+				} else {
+					ri = append(ri, i)
+				}
+			}
+			if len(li) < t.opts.MinLeaf || len(ri) < t.opts.MinLeaf {
+				continue
+			}
+			gain := parentGini -
+				(float64(len(li))*gini(y, li)+float64(len(ri))*gini(y, ri))/float64(len(idx))
+			if gain > bestGain {
+				bestFeat, bestThr, bestGain = f, thr, gain
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &node{isLeaf: true, label: majority(y, idx)}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][bestFeat] <= bestThr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	return &node{
+		feature:   bestFeat,
+		threshold: bestThr,
+		left:      t.build(X, y, li, depth+1),
+		right:     t.build(X, y, ri, depth+1),
+	}
+}
+
+func pure(y []bool, idx []int) bool {
+	for k := 1; k < len(idx); k++ {
+		if y[idx[k]] != y[idx[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+// Predict classifies a pair as same-category.
+func (t *Tree) Predict(a, b *rules.Record) bool {
+	x := baselines.Features(t.opts.Config, a, b)
+	n := t.root
+	for !n.isLeaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.label
+}
+
+// Rules renders the tree's positive root-to-leaf paths as human-readable
+// rule strings, the "rules" a Corleone-style system would extract.
+func (t *Tree) Rules() []string {
+	var out []string
+	var walk func(n *node, conds []string)
+	walk = func(n *node, conds []string) {
+		if n.isLeaf {
+			if n.label {
+				rule := "true"
+				if len(conds) > 0 {
+					rule = conds[0]
+					for _, c := range conds[1:] {
+						rule += " && " + c
+					}
+				}
+				out = append(out, rule)
+			}
+			return
+		}
+		name := fmt.Sprintf("f%d", n.feature)
+		if n.feature < len(t.names) {
+			name = t.names[n.feature]
+		}
+		walk(n.left, append(conds, fmt.Sprintf("%s <= %.3f", name, n.threshold)))
+		walk(n.right, append(conds[:len(conds):len(conds)], fmt.Sprintf("%s > %.3f", name, n.threshold)))
+	}
+	walk(t.root, nil)
+	return out
+}
+
+// Depth returns the tree's depth (a single leaf has depth 0).
+func (t *Tree) Depth() int {
+	var d func(n *node) int
+	d = func(n *node) int {
+		if n.isLeaf {
+			return 0
+		}
+		l, r := d(n.left), d(n.right)
+		if r > l {
+			l = r
+		}
+		return l + 1
+	}
+	return d(t.root)
+}

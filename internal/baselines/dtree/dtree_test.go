@@ -1,0 +1,100 @@
+package dtree
+
+import (
+	"strings"
+	"testing"
+
+	"dime/internal/fixtures"
+	"dime/internal/rules"
+)
+
+func figure1Examples(t *testing.T) (*rules.Config, []Example) {
+	t.Helper()
+	g := fixtures.Figure1Group()
+	cfg := fixtures.ScholarConfig()
+	recs, err := cfg.NewRecords(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := map[int]bool{0: true, 1: true, 2: true, 4: true}
+	var exs []Example
+	for i := 0; i < len(recs); i++ {
+		for j := i + 1; j < len(recs); j++ {
+			if correct[i] && correct[j] {
+				exs = append(exs, Example{A: recs[i], B: recs[j], Same: true})
+			} else if correct[i] != correct[j] {
+				exs = append(exs, Example{A: recs[i], B: recs[j], Same: false})
+			}
+		}
+	}
+	return cfg, exs
+}
+
+func TestTrainSeparable(t *testing.T) {
+	cfg, exs := figure1Examples(t)
+	tr, err := Train(Options{Config: cfg, MinLeaf: 1}, exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right := 0
+	for _, ex := range exs {
+		if tr.Predict(ex.A, ex.B) == ex.Same {
+			right++
+		}
+	}
+	if acc := float64(right) / float64(len(exs)); acc < 0.9 {
+		t.Fatalf("training accuracy %.2f on a separable pool", acc)
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	cfg, exs := figure1Examples(t)
+	tr, err := Train(Options{Config: cfg, MaxDepth: 2, MinLeaf: 1}, exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > 2 {
+		t.Fatalf("depth %d exceeds limit 2", tr.Depth())
+	}
+}
+
+func TestRulesRendering(t *testing.T) {
+	cfg, exs := figure1Examples(t)
+	tr, err := Train(Options{Config: cfg, MinLeaf: 1}, exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := tr.Rules()
+	if len(rs) == 0 {
+		t.Fatal("no positive paths rendered")
+	}
+	for _, r := range rs {
+		if !strings.Contains(r, "(") && r != "true" {
+			t.Fatalf("rule %q does not mention a feature", r)
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	cfg, _ := figure1Examples(t)
+	if _, err := Train(Options{Config: cfg}, nil); err == nil {
+		t.Fatal("no examples should fail")
+	}
+}
+
+func TestSingleClassLeaf(t *testing.T) {
+	cfg, exs := figure1Examples(t)
+	var onlyPos []Example
+	for _, ex := range exs {
+		if ex.Same {
+			onlyPos = append(onlyPos, ex)
+		}
+	}
+	tr, err := Train(Options{Config: cfg}, onlyPos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Predict(onlyPos[0].A, onlyPos[0].B) {
+		t.Fatal("pure-positive training should predict positive")
+	}
+}

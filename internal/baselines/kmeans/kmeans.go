@@ -1,0 +1,174 @@
+// Package kmeans implements the clustering-as-outlier-detection strawman
+// the paper's Related Work and Exp-1 discussion dismiss: embed each entity
+// as a hashed bag-of-tokens vector, run k-means with k = 2, and call the
+// smaller cluster mis-categorized. It fails for the reason the paper gives —
+// mis-categorized entities are not separable by symbolic features alone, and
+// cluster size is a poor proxy for correctness.
+package kmeans
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"dime/internal/entity"
+	"dime/internal/rules"
+)
+
+// Options configures the clusterer.
+type Options struct {
+	// Config supplies tokenization.
+	Config *rules.Config
+	// Dim is the hashed embedding dimensionality; 0 means 64.
+	Dim int
+	// K is the number of clusters; 0 means 2.
+	K int
+	// Iterations caps Lloyd iterations; 0 means 50.
+	Iterations int
+	// Seed drives initialization.
+	Seed int64
+}
+
+// KMeans is a Discoverer.
+type KMeans struct {
+	opts Options
+}
+
+// New creates the k-means baseline.
+func New(opts Options) *KMeans {
+	if opts.Dim == 0 {
+		opts.Dim = 64
+	}
+	if opts.K == 0 {
+		opts.K = 2
+	}
+	if opts.Iterations == 0 {
+		opts.Iterations = 50
+	}
+	return &KMeans{opts: opts}
+}
+
+// Name implements Discoverer.
+func (k *KMeans) Name() string { return fmt.Sprintf("KMeans(k=%d)", k.opts.K) }
+
+// Discover implements Discoverer: entities outside the largest cluster are
+// reported as mis-categorized.
+func (k *KMeans) Discover(g *entity.Group) ([]string, error) {
+	recs, err := k.opts.Config.NewRecords(g)
+	if err != nil {
+		return nil, err
+	}
+	n := len(recs)
+	if n == 0 {
+		return nil, nil
+	}
+	X := make([][]float64, n)
+	for i, r := range recs {
+		X[i] = k.embed(r)
+	}
+	assign := k.lloyd(X)
+	counts := make([]int, k.opts.K)
+	for _, a := range assign {
+		counts[a]++
+	}
+	largest := 0
+	for c := range counts {
+		if counts[c] > counts[largest] {
+			largest = c
+		}
+	}
+	var out []string
+	for i, a := range assign {
+		if a != largest {
+			out = append(out, g.Entities[i].ID)
+		}
+	}
+	return out, nil
+}
+
+// embed hashes every token of every attribute into a Dim-dimensional
+// L2-normalized count vector.
+func (k *KMeans) embed(r *rules.Record) []float64 {
+	v := make([]float64, k.opts.Dim)
+	for _, tokens := range r.Tokens {
+		for _, t := range tokens {
+			h := fnv.New32a()
+			h.Write([]byte(t))
+			v[int(h.Sum32())%k.opts.Dim]++
+		}
+	}
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range v {
+			v[i] /= norm
+		}
+	}
+	return v
+}
+
+// lloyd runs standard k-means with random initialization.
+func (k *KMeans) lloyd(X [][]float64) []int {
+	rng := rand.New(rand.NewSource(k.opts.Seed))
+	n, dim, K := len(X), k.opts.Dim, k.opts.K
+	if K > n {
+		K = n
+	}
+	centers := make([][]float64, K)
+	for c, i := range rng.Perm(n)[:K] {
+		centers[c] = append([]float64(nil), X[i]...)
+	}
+	assign := make([]int, n)
+	for it := 0; it < k.opts.Iterations; it++ {
+		changed := false
+		for i, x := range X {
+			best, bestD := 0, math.Inf(1)
+			for c := range centers {
+				d := sqDist(x, centers[c])
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		counts := make([]int, K)
+		for c := range centers {
+			centers[c] = make([]float64, dim)
+		}
+		for i, x := range X {
+			counts[assign[i]]++
+			for d := range x {
+				centers[assign[i]][d] += x[d]
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				centers[c] = append([]float64(nil), X[rng.Intn(n)]...)
+				continue
+			}
+			for d := range centers[c] {
+				centers[c][d] /= float64(counts[c])
+			}
+		}
+	}
+	return assign
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,69 @@
+package kmeans
+
+import (
+	"testing"
+
+	"dime/internal/datagen"
+	"dime/internal/fixtures"
+	"dime/internal/metrics"
+	"dime/internal/presets"
+)
+
+func TestDiscoverRuns(t *testing.T) {
+	g := fixtures.Figure1Group()
+	k := New(Options{Config: fixtures.ScholarConfig(), Seed: 1})
+	found, err := k.Discover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) == 0 || len(found) == g.Size() {
+		t.Fatalf("k-means split is degenerate: %d of %d flagged", len(found), g.Size())
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	g := datagen.Scholar(datagen.ScholarOptions{NumPubs: 60, ErrorRate: 0.1, Seed: 8})
+	cfg := presets.ScholarConfig()
+	a, err := New(Options{Config: cfg, Seed: 4}).Discover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{Config: cfg, Seed: 4}).Discover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("same seed, different results")
+	}
+}
+
+// TestKMeansIsAWeakBaseline encodes the paper's Related-Work claim: a
+// clustering split is a poor mis-categorization detector.
+func TestKMeansIsAWeakBaseline(t *testing.T) {
+	g := datagen.Scholar(datagen.ScholarOptions{NumPubs: 120, ErrorRate: 0.08, Seed: 13})
+	k := New(Options{Config: presets.ScholarConfig(), Seed: 2})
+	found, err := k.Discover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := metrics.Score(found, g.MisCategorizedIDs())
+	if s.F1 > 0.9 {
+		t.Fatalf("k-means unexpectedly strong (%v)", s)
+	}
+}
+
+func TestEmptyGroup(t *testing.T) {
+	g := fixtures.Figure1Group()
+	g.Entities = nil
+	k := New(Options{Config: fixtures.ScholarConfig()})
+	found, err := k.Discover(g)
+	if err != nil || found != nil {
+		t.Fatalf("empty group: %v %v", found, err)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(Options{}).Name() != "KMeans(k=2)" {
+		t.Fatal("name")
+	}
+}

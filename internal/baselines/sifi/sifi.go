@@ -1,0 +1,231 @@
+// Package sifi implements the SIFI baseline of Exp-6 (Wang, Li, Yu, Feng —
+// "Entity Matching: How Similar Is Similar", PVLDB 2011): an expert provides
+// the *structure* of each rule (which attribute and which similarity
+// function per predicate), and the system searches for the similarity
+// thresholds that maximize the objective on training examples.
+//
+// The search enumerates the cross product of example-induced candidate
+// thresholds (Theorem 3 limits the space to those) over precomputed
+// similarity tables, capped by quantile-thinning the candidates; structures
+// are fitted in order, each scored jointly with the rules already fitted.
+// SIFI's quality therefore hinges on the expert's structural guess — the
+// effect Exp-6 measures.
+package sifi
+
+import (
+	"fmt"
+	"sort"
+
+	"dime/internal/rulegen"
+	"dime/internal/rules"
+)
+
+// Structure is an expert-provided rule skeleton: the predicates' attributes
+// and similarity functions, with thresholds left open.
+type Structure struct {
+	// Predicates lists the (attribute, function) pairs of the conjunction.
+	Predicates []rules.Predicate
+}
+
+// Options configures the threshold search.
+type Options struct {
+	// Config supplies schema and trees.
+	Config *rules.Config
+	// Objective scores candidate thresholds; nil means the positive
+	// objective for GE structures and the negative one for LE.
+	Objective rulegen.Objective
+	// MaxCandidates caps candidate thresholds per predicate (quantile
+	// thinning); 0 means 24.
+	MaxCandidates int
+}
+
+// Fit searches thresholds for each structure and returns the instantiated
+// rules. Kind determines predicate orientation (GE for positive structures,
+// LE for negative ones) and the default objective.
+func Fit(opts Options, structures []Structure, examples []rulegen.Example, kind rules.Kind) ([]rules.Rule, error) {
+	if len(structures) == 0 {
+		return nil, fmt.Errorf("sifi: no structures provided")
+	}
+	if opts.MaxCandidates == 0 {
+		opts.MaxCandidates = 24
+	}
+	obj := opts.Objective
+	if obj == nil {
+		if kind == rules.Positive {
+			obj = rulegen.PositiveObjective
+		} else {
+			obj = rulegen.NegativeObjective
+		}
+	}
+
+	covered := make([]bool, len(examples)) // by rules fitted so far
+	var out []rules.Rule
+	for si, st := range structures {
+		rule, err := opts.resolve(st, si, kind)
+		if err != nil {
+			return nil, err
+		}
+		// Precompute each example's similarity under each predicate.
+		sims := make([][]float64, len(examples))
+		for ei, ex := range examples {
+			sims[ei] = make([]float64, len(rule.Predicates))
+			for pi, p := range rule.Predicates {
+				sims[ei][pi] = p.Similarity(ex.A, ex.B)
+			}
+		}
+		cands := make([][]float64, len(rule.Predicates))
+		for pi := range rule.Predicates {
+			cands[pi] = candidateThresholds(pi, sims, examples, kind, opts.MaxCandidates)
+			if kind == rules.Positive {
+				// Conservative-first ordering: on ties the grid keeps the
+				// earliest (tightest) thresholds, so a structure never ends
+				// up looser than necessary.
+				c := cands[pi]
+				for l, r := 0, len(c)-1; l < r; l, r = l+1, r-1 {
+					c[l], c[r] = c[r], c[l]
+				}
+			}
+		}
+
+		// Grid-search the threshold cross product; score = joint set score.
+		thr := make([]float64, len(rule.Predicates))
+		best := make([]float64, len(rule.Predicates))
+		bestScore := -1 << 30
+		var walk func(pi int)
+		walk = func(pi int) {
+			if pi == len(rule.Predicates) {
+				score := 0
+				for ei, ex := range examples {
+					match := covered[ei]
+					if !match {
+						match = true
+						for pj := range thr {
+							ok := sims[ei][pj] >= thr[pj]
+							if kind == rules.Negative {
+								ok = sims[ei][pj] <= thr[pj]
+							}
+							if !ok {
+								match = false
+								break
+							}
+						}
+					}
+					if match {
+						if ex.Same {
+							score += obj(1, 0)
+						} else {
+							score += obj(0, 1)
+						}
+					}
+				}
+				if score > bestScore {
+					bestScore = score
+					copy(best, thr)
+				}
+				return
+			}
+			for _, c := range cands[pi] {
+				thr[pi] = c
+				walk(pi + 1)
+			}
+			return
+		}
+		walk(0)
+
+		for pi := range rule.Predicates {
+			rule.Predicates[pi].Threshold = best[pi]
+		}
+		// Update the covered set for the next structure.
+		for ei := range examples {
+			if covered[ei] {
+				continue
+			}
+			all := true
+			for pj, p := range rule.Predicates {
+				ok := sims[ei][pj] >= p.Threshold
+				if kind == rules.Negative {
+					ok = sims[ei][pj] <= p.Threshold
+				}
+				if !ok {
+					all = false
+					break
+				}
+			}
+			covered[ei] = all
+		}
+		out = append(out, rule)
+	}
+	return out, nil
+}
+
+// resolve instantiates one structure as a rule with open thresholds.
+func (o Options) resolve(st Structure, si int, kind rules.Kind) (rules.Rule, error) {
+	rule := rules.Rule{Kind: kind}
+	if kind == rules.Positive {
+		rule.Name = fmt.Sprintf("sifi+%d", si+1)
+	} else {
+		rule.Name = fmt.Sprintf("sifi-%d", si+1)
+	}
+	if len(st.Predicates) == 0 {
+		return rule, fmt.Errorf("sifi: structure %d has no predicates", si)
+	}
+	for _, p := range st.Predicates {
+		q := p
+		if q.AttrName == "" {
+			q.AttrName = o.Config.Schema.Name(q.Attr)
+		}
+		if q.Fn == rules.Ontology && q.Tree == nil {
+			q.Tree = o.Config.Tree(q.AttrName)
+			if q.Tree == nil {
+				return rule, fmt.Errorf("sifi: structure %d: no tree for %q", si, q.AttrName)
+			}
+		}
+		if kind == rules.Positive {
+			q.Op = rules.GE
+		} else {
+			q.Op = rules.LE
+		}
+		rule.Predicates = append(rule.Predicates, q)
+	}
+	return rule, nil
+}
+
+// candidateThresholds lists the example-induced similarity values of one
+// predicate column from the precomputed table (driving examples only:
+// positives for GE, negatives for LE), quantile-thinned to max values.
+func candidateThresholds(col int, sims [][]float64, examples []rulegen.Example, kind rules.Kind, max int) []float64 {
+	var values []float64
+	seen := map[float64]bool{}
+	for ei, ex := range examples {
+		if (kind == rules.Positive) != ex.Same {
+			continue
+		}
+		v := sims[ei][col]
+		if !seen[v] {
+			seen[v] = true
+			values = append(values, v)
+		}
+	}
+	sort.Float64s(values)
+	if max > 0 && len(values) > max {
+		thinned := make([]float64, 0, max)
+		for i := 0; i < max; i++ {
+			thinned = append(thinned, values[i*(len(values)-1)/(max-1)])
+		}
+		dedup := thinned[:0]
+		for i, v := range thinned {
+			if i == 0 || v != dedup[len(dedup)-1] {
+				dedup = append(dedup, v)
+			}
+		}
+		values = dedup
+	}
+	if len(values) == 0 {
+		if kind == rules.Positive {
+			values = []float64{0}
+		} else {
+			values = []float64{1e9}
+		}
+	}
+	return values
+}

@@ -1,0 +1,118 @@
+package sifi
+
+import (
+	"testing"
+
+	"dime/internal/fixtures"
+	"dime/internal/rulegen"
+	"dime/internal/rules"
+)
+
+func figure1Examples(t *testing.T) (*rules.Config, []rulegen.Example) {
+	t.Helper()
+	g := fixtures.Figure1Group()
+	cfg := fixtures.ScholarConfig()
+	recs, err := cfg.NewRecords(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := map[int]bool{0: true, 1: true, 2: true, 4: true}
+	var exs []rulegen.Example
+	for i := 0; i < len(recs); i++ {
+		for j := i + 1; j < len(recs); j++ {
+			if correct[i] && correct[j] {
+				exs = append(exs, rulegen.Example{A: recs[i], B: recs[j], Same: true})
+			} else if correct[i] != correct[j] {
+				exs = append(exs, rulegen.Example{A: recs[i], B: recs[j], Same: false})
+			}
+		}
+	}
+	return cfg, exs
+}
+
+// expertStructures returns the paper's actual rule shapes — the best case
+// for SIFI, whose quality depends on the expert's structural guess.
+func expertStructures(cfg *rules.Config) []Structure {
+	authorsIdx, _ := cfg.Schema.Index("Authors")
+	venueIdx, _ := cfg.Schema.Index("Venue")
+	return []Structure{
+		{Predicates: []rules.Predicate{
+			{Attr: authorsIdx, AttrName: "Authors", Fn: rules.Overlap},
+		}},
+		{Predicates: []rules.Predicate{
+			{Attr: authorsIdx, AttrName: "Authors", Fn: rules.Overlap},
+			{Attr: venueIdx, AttrName: "Venue", Fn: rules.Ontology},
+		}},
+	}
+}
+
+func TestFitFindsGoodThresholds(t *testing.T) {
+	cfg, exs := figure1Examples(t)
+	fitted, err := Fit(Options{Config: cfg}, expertStructures(cfg), exs, rules.Positive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fitted) != 2 {
+		t.Fatalf("rules = %d", len(fitted))
+	}
+	score := rulegen.ScoreRuleSet(fitted, exs, rulegen.PositiveObjective)
+	// The Figure-1 pool is separable with these structures (the paper's own
+	// rules achieve 6); SIFI must come close.
+	if score < 5 {
+		t.Fatalf("SIFI score %d too low", score)
+	}
+}
+
+func TestFitNegative(t *testing.T) {
+	cfg, exs := figure1Examples(t)
+	fitted, err := Fit(Options{Config: cfg}, expertStructures(cfg), exs, rules.Negative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := rulegen.ScoreRuleSet(fitted, exs, rulegen.NegativeObjective)
+	if score < 5 {
+		t.Fatalf("negative SIFI score %d too low", score)
+	}
+	for _, r := range fitted {
+		for _, p := range r.Predicates {
+			if p.Op != rules.LE {
+				t.Fatalf("negative rules must use LE: %v", p)
+			}
+		}
+	}
+}
+
+func TestBadStructureHurts(t *testing.T) {
+	cfg, exs := figure1Examples(t)
+	titleIdx, _ := cfg.Schema.Index("Title")
+	bad := []Structure{{Predicates: []rules.Predicate{
+		{Attr: titleIdx, AttrName: "Title", Fn: rules.Jaccard},
+	}}}
+	fitted, err := Fit(Options{Config: cfg}, bad, exs, rules.Positive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := Fit(Options{Config: cfg}, expertStructures(cfg), exs, rules.Positive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := rulegen.ScoreRuleSet(fitted, exs, rulegen.PositiveObjective)
+	gs := rulegen.ScoreRuleSet(good, exs, rulegen.PositiveObjective)
+	if bs > gs {
+		t.Fatalf("title-only structure (%d) should not beat the expert structure (%d)", bs, gs)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	cfg, exs := figure1Examples(t)
+	if _, err := Fit(Options{Config: cfg}, nil, exs, rules.Positive); err == nil {
+		t.Fatal("no structures should fail")
+	}
+	titleIdx, _ := cfg.Schema.Index("Title")
+	noTree := []Structure{{Predicates: []rules.Predicate{
+		{Attr: titleIdx, AttrName: "Title", Fn: rules.Ontology},
+	}}}
+	if _, err := Fit(Options{Config: cfg}, noTree, exs, rules.Positive); err == nil {
+		t.Fatal("ontology structure without tree should fail")
+	}
+}

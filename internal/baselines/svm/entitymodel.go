@@ -1,0 +1,135 @@
+package svm
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"dime/internal/entity"
+	"dime/internal/rules"
+)
+
+// EntityModel is the paper's *first* SVM variant (Exp-2): each entity is
+// embedded as a feature vector and classified directly as correct or
+// mis-categorized. The paper found this variant weaker than the pairwise
+// model ("since the similarities between examples were rather important,
+// the latter model was better") and used the pairwise one; this
+// implementation exists to reproduce that comparison.
+type EntityModel struct {
+	opts Options
+	// W is the weight vector over hashed token features and B the bias.
+	W   []float64
+	B   float64
+	dim int
+}
+
+// EntityExample is a labelled entity: Bad means mis-categorized.
+type EntityExample struct {
+	E   *rules.Record
+	Bad bool
+}
+
+// entityDim is the hashed bag-of-tokens dimensionality.
+const entityDim = 256
+
+// TrainEntityModel fits the per-entity classifier with Pegasos and balanced
+// class weights, mirroring the pairwise trainer's configuration.
+func TrainEntityModel(opts Options, examples []EntityExample) (*EntityModel, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("svm: no training examples")
+	}
+	if opts.Lambda <= 0 {
+		opts.Lambda = 1e-4
+	}
+	if opts.Epochs <= 0 {
+		opts.Epochs = 50
+	}
+	m := &EntityModel{opts: opts, dim: entityDim, W: make([]float64, entityDim)}
+
+	X := make([][]float64, len(examples))
+	y := make([]float64, len(examples))
+	var nPos, nNeg int
+	for i, ex := range examples {
+		X[i] = m.embed(ex.E)
+		if ex.Bad {
+			y[i] = -1
+			nNeg++
+		} else {
+			y[i] = 1
+			nPos++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return nil, fmt.Errorf("svm: need both classes (got %d correct, %d mis-categorized)", nPos, nNeg)
+	}
+	wPos := float64(nPos+nNeg) / (2 * float64(nPos))
+	wNeg := float64(nPos+nNeg) / (2 * float64(nNeg))
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	t := 1
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		for iter := 0; iter < len(examples); iter++ {
+			i := rng.Intn(len(examples))
+			eta := 1 / (opts.Lambda * float64(t))
+			t++
+			margin := y[i] * (dot(m.W, X[i]) + m.B)
+			cw := wPos
+			if y[i] < 0 {
+				cw = wNeg
+			}
+			for d := range m.W {
+				m.W[d] *= 1 - eta*opts.Lambda
+			}
+			if margin < 1 {
+				for d := range m.W {
+					m.W[d] += eta * cw * y[i] * X[i][d]
+				}
+				m.B += eta * cw * y[i]
+			}
+		}
+	}
+	return m, nil
+}
+
+// embed hashes every token of every attribute into an L2-normalized vector.
+func (m *EntityModel) embed(r *rules.Record) []float64 {
+	v := make([]float64, m.dim)
+	for _, tokens := range r.Tokens {
+		for _, tok := range tokens {
+			h := fnv.New32a()
+			h.Write([]byte(tok))
+			v[int(h.Sum32())%m.dim]++
+		}
+	}
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range v {
+			v[i] /= norm
+		}
+	}
+	return v
+}
+
+// Name implements Discoverer.
+func (m *EntityModel) Name() string { return "SVM(entity)" }
+
+// Discover implements Discoverer: entities classified into the negative
+// class are reported mis-categorized.
+func (m *EntityModel) Discover(g *entity.Group) ([]string, error) {
+	recs, err := m.opts.Config.NewRecords(g)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, r := range recs {
+		if dot(m.W, m.embed(r))+m.B < 0 {
+			out = append(out, r.Entity.ID)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package svm
+
+import (
+	"testing"
+
+	"dime/internal/datagen"
+	"dime/internal/metrics"
+	"dime/internal/presets"
+	"dime/internal/rules"
+)
+
+// trainingExamples labels pairs from a generated page: correct×correct are
+// Same, correct×mis-categorized are not.
+func trainingExamples(t *testing.T, cfg *rules.Config, seed int64, limit int) []Example {
+	t.Helper()
+	g := datagen.Scholar(datagen.ScholarOptions{NumPubs: 60, ErrorRate: 0.15, Seed: seed})
+	recs, err := cfg.NewRecords(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exs []Example
+	for i := 0; i < len(recs) && len(exs) < limit; i++ {
+		for j := i + 1; j < len(recs) && len(exs) < limit; j++ {
+			badI, badJ := g.Truth[recs[i].Entity.ID], g.Truth[recs[j].Entity.ID]
+			if !badI && !badJ {
+				exs = append(exs, Example{A: recs[i], B: recs[j], Same: true})
+			} else if badI != badJ {
+				exs = append(exs, Example{A: recs[i], B: recs[j], Same: false})
+			}
+		}
+	}
+	return exs
+}
+
+func TestTrainAndPredict(t *testing.T) {
+	cfg := presets.ScholarConfig()
+	exs := trainingExamples(t, cfg, 31, 600)
+	m, err := Train(Options{Config: cfg, Seed: 1}, exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Training accuracy should beat a majority-class guesser comfortably.
+	right, pos := 0, 0
+	for _, ex := range exs {
+		if m.Predict(ex.A, ex.B) == ex.Same {
+			right++
+		}
+		if ex.Same {
+			pos++
+		}
+	}
+	acc := float64(right) / float64(len(exs))
+	maj := float64(pos) / float64(len(exs))
+	if maj < 0.5 {
+		maj = 1 - maj
+	}
+	// Pegasos is stochastic; require it to be in the majority baseline's
+	// neighbourhood rather than strictly above it.
+	if acc < maj-0.15 {
+		t.Fatalf("training accuracy %.2f far below majority baseline %.2f", acc, maj)
+	}
+	if acc < 0.6 {
+		t.Fatalf("training accuracy %.2f is implausibly low", acc)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	cfg := presets.ScholarConfig()
+	if _, err := Train(Options{Config: cfg}, nil); err == nil {
+		t.Fatal("no examples should fail")
+	}
+	exs := trainingExamples(t, cfg, 32, 50)
+	var onlyPos []Example
+	for _, ex := range exs {
+		if ex.Same {
+			onlyPos = append(onlyPos, ex)
+		}
+	}
+	if _, err := Train(Options{Config: cfg}, onlyPos); err == nil {
+		t.Fatal("single-class training should fail")
+	}
+}
+
+func TestDiscoverFindsSomething(t *testing.T) {
+	cfg := presets.ScholarConfig()
+	m, err := Train(Options{Config: cfg, Seed: 2}, trainingExamples(t, cfg, 33, 800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := datagen.Scholar(datagen.ScholarOptions{NumPubs: 80, ErrorRate: 0.1, Seed: 99})
+	found, err := m.Discover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := metrics.Score(found, g.MisCategorizedIDs())
+	if s.Recall == 0 && s.Precision == 0 {
+		t.Fatalf("SVM found nothing useful: %v (found %d)", s, len(found))
+	}
+	if m.Name() != "SVM" {
+		t.Fatal("name")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	cfg := presets.ScholarConfig()
+	exs := trainingExamples(t, cfg, 34, 200)
+	m1, _ := Train(Options{Config: cfg, Seed: 5}, exs)
+	m2, _ := Train(Options{Config: cfg, Seed: 5}, exs)
+	for i := range m1.W {
+		if m1.W[i] != m2.W[i] {
+			t.Fatal("same seed must give same weights")
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dime/internal/entity"
+)
+
+// DiscoverAll runs DIMEPlus over many groups concurrently with a bounded
+// worker pool and returns one result per group, in input order. Each group
+// is processed independently (signature contexts and orderings are
+// per-group), so results are identical to sequential runs. workers ≤ 0 uses
+// GOMAXPROCS. On error the first failure is returned and the batch result is
+// discarded.
+func DiscoverAll(groups []*entity.Group, opts Options, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	results := make([]*Result, len(groups))
+	if len(groups) == 0 {
+		return results, nil
+	}
+
+	var (
+		failed   atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				if failed.Load() {
+					continue // drain remaining jobs after a failure
+				}
+				res, err := DIMEPlus(groups[idx], opts)
+				if err != nil {
+					if failed.CompareAndSwap(false, true) {
+						errMu.Lock()
+						firstErr = fmt.Errorf("group %q: %w", groups[idx].Name, err)
+						errMu.Unlock()
+					}
+					continue
+				}
+				results[idx] = res
+			}
+		}()
+	}
+	for i := range groups {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if failed.Load() {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return nil, firstErr
+	}
+	return results, nil
+}

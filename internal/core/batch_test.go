@@ -1,0 +1,69 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"dime/internal/datagen"
+	"dime/internal/entity"
+	"dime/internal/presets"
+)
+
+func TestDiscoverAllMatchesSequential(t *testing.T) {
+	cfg := presets.ScholarConfig()
+	opts := Options{Config: cfg, Rules: presets.ScholarRules(cfg)}
+	groups := datagen.ScholarPages(9, 40, 0.08, 77)
+
+	batch, err := DiscoverAll(groups, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(groups) {
+		t.Fatalf("results = %d", len(batch))
+	}
+	for i, g := range groups {
+		seq, err := DIMEPlus(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq.Final(), batch[i].Final()) {
+			t.Fatalf("group %d: batch %v vs sequential %v", i, batch[i].Final(), seq.Final())
+		}
+		if batch[i].PivotSize() != seq.PivotSize() {
+			t.Fatalf("group %d: pivot sizes differ", i)
+		}
+	}
+}
+
+func TestDiscoverAllEmptyAndWorkerClamp(t *testing.T) {
+	cfg := presets.ScholarConfig()
+	opts := Options{Config: cfg, Rules: presets.ScholarRules(cfg)}
+	res, err := DiscoverAll(nil, opts, 8)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: %v, %v", res, err)
+	}
+	groups := datagen.ScholarPages(2, 30, 0.1, 5)
+	res, err = DiscoverAll(groups, opts, 100) // workers > groups
+	if err != nil || len(res) != 2 {
+		t.Fatalf("clamped batch: %v, %v", res, err)
+	}
+	res, err = DiscoverAll(groups, opts, 0) // default workers
+	if err != nil || res[0] == nil || res[1] == nil {
+		t.Fatalf("default workers: %v, %v", res, err)
+	}
+}
+
+func TestDiscoverAllPropagatesErrors(t *testing.T) {
+	cfg := presets.ScholarConfig()
+	opts := Options{Config: cfg, Rules: presets.ScholarRules(cfg)}
+	groups := datagen.ScholarPages(3, 20, 0.1, 9)
+	// Poison one group with a mismatched schema.
+	bad := entity.NewGroup("bad", entity.MustSchema("X"))
+	e, _ := entity.NewEntity(bad.Schema, "e", [][]string{{"v"}})
+	bad.MustAdd(e)
+	groups = append(groups, bad)
+
+	if _, err := DiscoverAll(groups, opts, 2); err == nil {
+		t.Fatal("schema mismatch should surface")
+	}
+}

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dime/internal/entity"
+	"dime/internal/fixtures"
+	"dime/internal/ontology"
+	"dime/internal/rules"
+)
+
+func paperOptions() Options {
+	cfg := fixtures.ScholarConfig()
+	return Options{Config: cfg, Rules: fixtures.PaperRules(cfg)}
+}
+
+// partitionIDs renders partitions as sorted ID sets for comparison.
+func partitionIDs(g *entity.Group, parts [][]int) []string {
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		ids := make([]string, 0, len(p))
+		for _, ei := range p {
+			ids = append(ids, g.Entities[ei].ID)
+		}
+		sort.Strings(ids)
+		out = append(out, fmt.Sprint(ids))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestDIMEPaperExample walks Algorithm 1 through the Figure-1 group and
+// checks every outcome the paper's Examples 2 and 5 state: the partitions,
+// the pivot, and the two scrollbar levels.
+func TestDIMEPaperExample(t *testing.T) {
+	g := fixtures.Figure1Group()
+	res, err := DIME(g, paperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantParts := []string{"[e1 e2 e3 e5]", "[e4]", "[e6]"}
+	if got := partitionIDs(g, res.Partitions); !reflect.DeepEqual(got, wantParts) {
+		t.Fatalf("partitions = %v, want %v", got, wantParts)
+	}
+	if res.PivotSize() != 4 {
+		t.Fatalf("pivot size = %d, want 4", res.PivotSize())
+	}
+	if got := res.MisCategorizedIDs(0); !reflect.DeepEqual(got, []string{"e4"}) {
+		t.Fatalf("level 1 (φ−1) = %v, want [e4]", got)
+	}
+	if got := res.MisCategorizedIDs(1); !reflect.DeepEqual(got, []string{"e4", "e6"}) {
+		t.Fatalf("level 2 (φ−1∨φ−2) = %v, want [e4 e6]", got)
+	}
+	if got := res.Final(); !reflect.DeepEqual(got, []string{"e4", "e6"}) {
+		t.Fatalf("final = %v", got)
+	}
+}
+
+// TestDIMEPlusPaperExample: Algorithm 2 must produce the same results.
+func TestDIMEPlusPaperExample(t *testing.T) {
+	g := fixtures.Figure1Group()
+	res, err := DIMEPlus(g, paperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantParts := []string{"[e1 e2 e3 e5]", "[e4]", "[e6]"}
+	if got := partitionIDs(g, res.Partitions); !reflect.DeepEqual(got, wantParts) {
+		t.Fatalf("partitions = %v, want %v", got, wantParts)
+	}
+	if got := res.MisCategorizedIDs(0); !reflect.DeepEqual(got, []string{"e4"}) {
+		t.Fatalf("level 1 = %v", got)
+	}
+	if got := res.MisCategorizedIDs(1); !reflect.DeepEqual(got, []string{"e4", "e6"}) {
+		t.Fatalf("level 2 = %v", got)
+	}
+	// The signature filter should have proven at least one partition
+	// mis-categorized without verification (Example 9).
+	if res.Stats.PartitionsFilteredBySignature+res.Stats.CertainPairsBySignature == 0 {
+		t.Error("expected signature-only negative decisions on the paper example")
+	}
+}
+
+// TestDIMEPlusDoesLessWork: on the paper example the signature algorithm
+// verifies strictly fewer positive pairs than the naive enumeration.
+func TestDIMEPlusDoesLessWork(t *testing.T) {
+	g := fixtures.Figure1Group()
+	naive, err := DIME(g, paperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := DIMEPlus(g, paperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Stats.PositiveVerified >= naive.Stats.PositiveVerified {
+		t.Errorf("DIME+ verified %d pairs, naive %d — filter had no effect",
+			fast.Stats.PositiveVerified, naive.Stats.PositiveVerified)
+	}
+}
+
+// TestScrollbarMonotone: every level's output is a superset of the previous
+// level's (the property that makes the scrollbar usable).
+func TestScrollbarMonotone(t *testing.T) {
+	g := fixtures.Figure1Group()
+	for _, algo := range []func(*entity.Group, Options) (*Result, error){DIME, DIMEPlus} {
+		res, err := algo(g, paperOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := map[string]bool{}
+		for li, lv := range res.Levels {
+			cur := map[string]bool{}
+			for _, id := range lv.EntityIDs {
+				cur[id] = true
+			}
+			for id := range prev {
+				if !cur[id] {
+					t.Fatalf("level %d dropped %s", li, id)
+				}
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	g := fixtures.Figure1Group()
+	if _, err := DIME(g, Options{}); err == nil {
+		t.Fatal("missing config should fail")
+	}
+	cfg := fixtures.ScholarConfig()
+	if _, err := DIME(g, Options{Config: cfg}); err == nil {
+		t.Fatal("missing rules should fail")
+	}
+	rs := fixtures.PaperRules(cfg)
+	if _, err := DIME(nil, Options{Config: cfg, Rules: rs}); err == nil {
+		t.Fatal("nil group should fail")
+	}
+	onlyPos := rules.RuleSet{Positive: rs.Positive}
+	if _, err := DIME(g, Options{Config: cfg, Rules: onlyPos}); err == nil {
+		t.Fatal("missing negative rules should fail")
+	}
+}
+
+func TestEmptyGroup(t *testing.T) {
+	g := entity.NewGroup("empty", fixtures.ScholarSchema)
+	res, err := DIME(g, paperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Partitions) != 0 || res.Final() != nil {
+		t.Fatalf("empty group result: %+v", res)
+	}
+	res2, err := DIMEPlus(g, paperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Partitions) != 0 {
+		t.Fatalf("empty group DIME+ result: %+v", res2)
+	}
+}
+
+func TestSingletonGroup(t *testing.T) {
+	g := entity.NewGroup("one", fixtures.ScholarSchema)
+	e, _ := entity.NewEntity(fixtures.ScholarSchema, "only", [][]string{{"t"}, {"a"}, {"SIGMOD"}})
+	g.MustAdd(e)
+	for _, algo := range []func(*entity.Group, Options) (*Result, error){DIME, DIMEPlus} {
+		res, err := algo(g, paperOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Partitions) != 1 || res.PivotSize() != 1 {
+			t.Fatalf("singleton partitions: %+v", res.Partitions)
+		}
+		if len(res.Final()) != 0 {
+			t.Fatalf("singleton should have no mis-categorized entities, got %v", res.Final())
+		}
+	}
+}
+
+// randomGroup mirrors the one in the signature tests: random token sets,
+// names and venues.
+func randomGroup(rng *rand.Rand, n int) (*entity.Group, Options) {
+	schema := entity.MustSchema("Name", "Tags", "Venue")
+	tree := ontology.VenueTree()
+	leaves := tree.Leaves()
+	cfg := rules.NewConfig(schema).
+		WithTokenMode("Name", rules.WordsMode).
+		WithTree("Venue", tree)
+	g := entity.NewGroup("rand", schema)
+	words := []string{"alpha", "beta", "gamma", "delta", "eps", "zeta", "eta", "theta", "iota", "kappa"}
+	for i := 0; i < n; i++ {
+		name := words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))]
+		var tags []string
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			tags = append(tags, words[rng.Intn(len(words))])
+		}
+		venue := leaves[rng.Intn(len(leaves))].Label
+		e, err := entity.NewEntity(schema, fmt.Sprintf("r%02d", i), [][]string{{name}, tags, {venue}})
+		if err != nil {
+			panic(err)
+		}
+		g.MustAdd(e)
+	}
+	rs := rules.RuleSet{
+		Positive: []rules.Rule{
+			rules.MustParse(cfg, "p1", rules.Positive, "ov(Tags) >= 2"),
+			rules.MustParse(cfg, "p2", rules.Positive, "jac(Name) >= 0.5 && on(Venue) >= 0.75"),
+		},
+		Negative: []rules.Rule{
+			rules.MustParse(cfg, "n1", rules.Negative, "ov(Tags) = 0"),
+			rules.MustParse(cfg, "n2", rules.Negative, "ov(Tags) <= 1 && on(Venue) <= 0.25"),
+		},
+	}
+	return g, Options{Config: cfg, Rules: rs}
+}
+
+// TestEquivalenceRandomized is the central invariant: DIME and DIME+ compute
+// identical partitions, pivots, and scrollbar levels on random groups. Any
+// signature incompleteness or ordering bug breaks this.
+func TestEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 40; trial++ {
+		g, opts := randomGroup(rng, 2+rng.Intn(30))
+		a, err := DIME(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := DIMEPlus(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa, pb := partitionIDs(g, a.Partitions), partitionIDs(g, b.Partitions)
+		if !reflect.DeepEqual(pa, pb) {
+			t.Fatalf("trial %d: partitions differ\nnaive: %v\nfast:  %v", trial, pa, pb)
+		}
+		if len(a.Levels) != len(b.Levels) {
+			t.Fatalf("trial %d: level counts differ", trial)
+		}
+		for li := range a.Levels {
+			if !reflect.DeepEqual(a.Levels[li].EntityIDs, b.Levels[li].EntityIDs) {
+				t.Fatalf("trial %d level %d: %v vs %v",
+					trial, li, a.Levels[li].EntityIDs, b.Levels[li].EntityIDs)
+			}
+		}
+	}
+}
+
+// TestAblationFlagsPreserveResults: turning off the benefit order or the
+// transitivity skip changes work done, never answers.
+func TestAblationFlagsPreserveResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		g, opts := randomGroup(rng, 5+rng.Intn(25))
+		base, err := DIMEPlus(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, variant := range []Options{
+			{Config: opts.Config, Rules: opts.Rules, DisableBenefitOrder: true},
+			{Config: opts.Config, Rules: opts.Rules, DisableTransitivitySkip: true},
+			{Config: opts.Config, Rules: opts.Rules, DisableBenefitOrder: true, DisableTransitivitySkip: true},
+		} {
+			got, err := DIMEPlus(g, variant)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(partitionIDs(g, base.Partitions), partitionIDs(g, got.Partitions)) {
+				t.Fatalf("trial %d: ablation changed partitions", trial)
+			}
+			for li := range base.Levels {
+				if !reflect.DeepEqual(base.Levels[li].EntityIDs, got.Levels[li].EntityIDs) {
+					t.Fatalf("trial %d: ablation changed level %d", trial, li)
+				}
+			}
+		}
+	}
+}
+
+// TestTransitivitySkipSavesWork: with the skip disabled, DIME+ performs at
+// least as many verifications.
+func TestTransitivitySkipSavesWork(t *testing.T) {
+	g := fixtures.Figure1Group()
+	opts := paperOptions()
+	withSkip, err := DIMEPlus(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.DisableTransitivitySkip = true
+	noSkip, err := DIMEPlus(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noSkip.Stats.PositiveVerified < withSkip.Stats.PositiveVerified {
+		t.Errorf("disabling the skip reduced verifications: %d < %d",
+			noSkip.Stats.PositiveVerified, withSkip.Stats.PositiveVerified)
+	}
+}
+
+func TestMisCategorizedIDsClamping(t *testing.T) {
+	g := fixtures.Figure1Group()
+	res, err := DIME(g, paperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.MisCategorizedIDs(-5); !reflect.DeepEqual(got, res.Levels[0].EntityIDs) {
+		t.Fatal("negative level should clamp to 0")
+	}
+	if got := res.MisCategorizedIDs(99); !reflect.DeepEqual(got, res.Final()) {
+		t.Fatal("overlarge level should clamp to deepest")
+	}
+	empty := &Result{}
+	if empty.MisCategorizedIDs(0) != nil {
+		t.Fatal("no levels → nil")
+	}
+}
+
+// TestEvalHelpers covers the exported rule-evaluation helpers.
+func TestEvalHelpers(t *testing.T) {
+	g := fixtures.Figure1Group()
+	cfg := fixtures.ScholarConfig()
+	rs := fixtures.PaperRules(cfg)
+	recs, err := cfg.NewRecords(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EvalPositiveAny(rs, recs[0], recs[2]) { // e1, e3 share two authors
+		t.Fatal("e1/e3 should match a positive rule")
+	}
+	if EvalPositiveAny(rs, recs[0], recs[3]) {
+		t.Fatal("e1/e4 should not match any positive rule")
+	}
+	if !EvalNegativePrefix(rs, 1, recs[0], recs[3]) {
+		t.Fatal("e1/e4 should match φ−1")
+	}
+	if EvalNegativePrefix(rs, 1, recs[0], recs[5]) {
+		t.Fatal("e1/e6 should not match φ−1 (one shared author)")
+	}
+	if !EvalNegativePrefix(rs, 2, recs[0], recs[5]) {
+		t.Fatal("e1/e6 should match φ−2")
+	}
+}

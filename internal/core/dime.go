@@ -1,0 +1,102 @@
+package core
+
+import (
+	"dime/internal/entity"
+	"dime/internal/partition"
+	"dime/internal/rules"
+)
+
+// DIME runs the basic rule-based framework (Algorithm 1): it enumerates
+// every entity pair against every positive rule to build the partition
+// graph, picks the largest connected component as the pivot partition, and
+// then enumerates pivot × other pairs against the negative rules in
+// sequence to discover mis-categorized partitions.
+func DIME(g *entity.Group, opts Options) (*Result, error) {
+	if err := opts.validate(g); err != nil {
+		return nil, err
+	}
+	recs, err := opts.Config.NewRecords(g)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Group: g, Pivot: -1}
+	n := len(recs)
+	if n == 0 {
+		return res, nil
+	}
+
+	// Step 1: compute disjoint partitions with the positive-rule disjunction
+	// plus transitivity (connected components via union–find).
+	uf := partition.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for _, r := range opts.Rules.Positive {
+				res.Stats.PositivePairsConsidered++
+				res.Stats.PositiveVerified++
+				if r.Eval(recs[i], recs[j]) {
+					uf.Union(i, j)
+					break // the disjunction is satisfied; other rules add nothing
+				}
+			}
+		}
+	}
+	res.Partitions = uf.Sets()
+
+	// Step 2: the pivot partition is the largest one.
+	res.Pivot = pivotOf(res.Partitions)
+
+	// Step 3: apply negative rules in sequence; each level accumulates the
+	// partitions marked by the growing disjunction φ−1 ∨ ... ∨ φ−k.
+	pivot := res.Partitions[res.Pivot]
+	marked := make(map[int]bool)
+	res.Witnesses = make(map[int]Witness)
+	for _, neg := range opts.Rules.Negative {
+		for pi, part := range res.Partitions {
+			if pi == res.Pivot || marked[pi] {
+				continue
+			}
+		partLoop:
+			for _, ei := range part {
+				for _, pj := range pivot {
+					res.Stats.NegativeVerified++
+					if neg.Eval(recs[ei], recs[pj]) {
+						marked[pi] = true
+						res.Witnesses[pi] = Witness{
+							Rule:     neg.Name,
+							EntityID: g.Entities[ei].ID,
+							PivotID:  g.Entities[pj].ID,
+						}
+						break partLoop
+					}
+				}
+			}
+		}
+		res.Levels = append(res.Levels, levelFrom(g, res.Partitions, marked, neg.Name))
+	}
+	return res, nil
+}
+
+// EvalPositiveAny reports whether any positive rule of the set matches the
+// pair; exported for baselines and tests that need raw rule semantics.
+func EvalPositiveAny(rs rules.RuleSet, a, b *rules.Record) bool {
+	for _, r := range rs.Positive {
+		if r.Eval(a, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalNegativePrefix reports whether any of the first k negative rules
+// matches the pair.
+func EvalNegativePrefix(rs rules.RuleSet, k int, a, b *rules.Record) bool {
+	if k > len(rs.Negative) {
+		k = len(rs.Negative)
+	}
+	for _, r := range rs.Negative[:k] {
+		if r.Eval(a, b) {
+			return true
+		}
+	}
+	return false
+}

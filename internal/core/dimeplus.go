@@ -1,0 +1,218 @@
+package core
+
+import (
+	"slices"
+
+	"dime/internal/entity"
+	"dime/internal/partition"
+	"dime/internal/rules"
+	"dime/internal/signature"
+)
+
+// DIMEPlus runs the signature-based algorithm (Algorithm 2). The filter step
+// builds per-rule inverted indexes over prefix / q-gram / ontology-node
+// signatures so only candidate pairs are verified; the verify step orders
+// candidates by benefit (similarity probability over verification cost for
+// positive rules, its reciprocal for negative rules) and exploits
+// transitivity and early exit to skip work.
+func DIMEPlus(g *entity.Group, opts Options) (*Result, error) {
+	if err := opts.validate(g); err != nil {
+		return nil, err
+	}
+	recs, err := opts.Config.NewRecords(g)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Group: g, Pivot: -1}
+	n := len(recs)
+	if n == 0 {
+		return res, nil
+	}
+	ctx := signature.NewContext(opts.Config, recs, opts.Rules)
+
+	// Step 1: candidates from the positive-rule signature indexes, verified
+	// under transitivity. Small candidate sets are verified in global
+	// benefit order (Algorithm 2 line 5); past the sort limit the candidates
+	// are verified as they stream off the inverted lists — transitivity
+	// skips the bulk either way and the resulting partitions are identical,
+	// but sorting millions of candidates would cost more than it saves.
+	uf := partition.New(n)
+	verify := func(i, j, rule int) {
+		if !opts.DisableTransitivitySkip && uf.Same(i, j) {
+			res.Stats.PositiveSkippedByTransitivity++
+			return
+		}
+		res.Stats.PositiveVerified++
+		if opts.Rules.Positive[rule].Eval(recs[i], recs[j]) {
+			uf.Union(i, j)
+		}
+	}
+	sortLimit := opts.BenefitSortLimit
+	if sortLimit == 0 {
+		sortLimit = 1 << 15
+	}
+	type posCand struct {
+		i, j    int32
+		rule    int32
+		benefit float64
+	}
+	indexes := make([]*signature.PosIndex, len(opts.Rules.Positive))
+	for ri, rule := range opts.Rules.Positive {
+		indexes[ri] = signature.BuildPositive(ctx, rule, recs)
+	}
+	var cands []posCand
+	sorting := !opts.DisableBenefitOrder
+	for ri := range indexes {
+		ix := indexes[ri]
+		rule := opts.Rules.Positive[ri]
+		ix.ForEach(func(c signature.Candidate) {
+			res.Stats.PositivePairsConsidered++
+			if !sorting {
+				verify(c.I, c.J, ri)
+				return
+			}
+			avg := float64(ix.SigCount(c.I)+ix.SigCount(c.J)) / 2
+			if avg < 1 {
+				avg = 1
+			}
+			prob := float64(c.Shared) / avg
+			if prob <= 0 {
+				prob = 1e-6 // wildcard-only candidates still need a rank
+			}
+			cost := rule.Cost(recs[c.I], recs[c.J])
+			if cost < 1 {
+				cost = 1
+			}
+			cands = append(cands, posCand{
+				i: int32(c.I), j: int32(c.J), rule: int32(ri), benefit: prob / cost,
+			})
+			if len(cands) > sortLimit {
+				// Too many to sort profitably: flush what we have in
+				// arrival order and fall back to streaming.
+				sorting = false
+				for _, pc := range cands {
+					verify(int(pc.i), int(pc.j), int(pc.rule))
+				}
+				cands = nil
+			}
+		})
+	}
+	if sorting {
+		slices.SortFunc(cands, func(a, b posCand) int {
+			switch {
+			case a.benefit > b.benefit:
+				return -1
+			case a.benefit < b.benefit:
+				return 1
+			case a.i != b.i:
+				return int(a.i) - int(b.i)
+			case a.j != b.j:
+				return int(a.j) - int(b.j)
+			default:
+				return int(a.rule) - int(b.rule)
+			}
+		})
+		for _, pc := range cands {
+			verify(int(pc.i), int(pc.j), int(pc.rule))
+		}
+	}
+	res.Partitions = uf.Sets()
+
+	// Step 2: pivot partition.
+	res.Pivot = pivotOf(res.Partitions)
+	pivotIdx := res.Partitions[res.Pivot]
+	pivotRecs := make([]*rules.Record, len(pivotIdx))
+	for k, ei := range pivotIdx {
+		pivotRecs[k] = recs[ei]
+	}
+
+	// Step 3: negative rules in sequence with signature filtering.
+	marked := make(map[int]bool)
+	res.Witnesses = make(map[int]Witness)
+	for _, neg := range opts.Rules.Negative {
+		nf := signature.BuildNegative(ctx, neg, pivotRecs)
+		for pi, part := range res.Partitions {
+			if pi == res.Pivot || marked[pi] {
+				continue
+			}
+			partRecs := make([]*rules.Record, len(part))
+			for k, ei := range part {
+				partRecs[k] = recs[ei]
+			}
+			if nf.PartitionMustSatisfy(partRecs) {
+				marked[pi] = true
+				res.Stats.PartitionsFilteredBySignature++
+				res.Witnesses[pi] = Witness{Rule: neg.Name}
+				continue
+			}
+			if w, ok := plusMarkPartition(res, nf, neg, partRecs, pivotRecs, opts); ok {
+				marked[pi] = true
+				res.Witnesses[pi] = w
+			}
+		}
+		res.Levels = append(res.Levels, levelFrom(g, res.Partitions, marked, neg.Name))
+	}
+	return res, nil
+}
+
+// plusMarkPartition probes each entity of an outside partition against the
+// pivot. A probe that finds a provably dissimilar pivot record marks the
+// partition at once; otherwise that entity's uncertain pairs are verified in
+// benefit order 1/(C·P) — fewest shared signatures and cheapest verification
+// first — with early exit on the first satisfied pair. Processing entity by
+// entity keeps the memory footprint at O(|pivot|) and lets the common case
+// (a genuinely mis-categorized partition) resolve after a handful of
+// verifications.
+func plusMarkPartition(res *Result, nf *signature.NegFilter, neg rules.Rule,
+	part, pivot []*rules.Record, opts Options) (Witness, bool) {
+
+	type negCand struct {
+		p       int32
+		benefit float32
+	}
+	cands := make([]negCand, 0, len(pivot))
+	for _, e := range part {
+		pr := nf.Probe(e)
+		if pr.Certain >= 0 {
+			res.Stats.CertainPairsBySignature++
+			return Witness{
+				Rule:     neg.Name,
+				EntityID: e.Entity.ID,
+				PivotID:  pivot[pr.Certain].Entity.ID,
+			}, true
+		}
+		cands = cands[:0]
+		for pi, p := range pivot {
+			shared := pr.Shared[pi]
+			prob := (float64(shared) + 0.5) / (float64(len(pr.Shared)) + 1)
+			cost := neg.Cost(e, p)
+			if cost < 1 {
+				cost = 1
+			}
+			cands = append(cands, negCand{p: int32(pi), benefit: float32(1 / (cost * prob))})
+		}
+		if !opts.DisableBenefitOrder {
+			slices.SortFunc(cands, func(a, b negCand) int {
+				switch {
+				case a.benefit > b.benefit:
+					return -1
+				case a.benefit < b.benefit:
+					return 1
+				default:
+					return int(a.p) - int(b.p)
+				}
+			})
+		}
+		for _, c := range cands {
+			res.Stats.NegativeVerified++
+			if neg.Eval(e, pivot[c.p]) {
+				return Witness{
+					Rule:     neg.Name,
+					EntityID: e.Entity.ID,
+					PivotID:  pivot[c.p].Entity.ID,
+				}, true
+			}
+		}
+	}
+	return Witness{}, false
+}

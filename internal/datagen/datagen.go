@@ -1,0 +1,104 @@
+// Package datagen generates the synthetic datasets the experiments run on,
+// substituting for the paper's crawled Google Scholar pages, the McAuley
+// Amazon product metadata, and the UT DBGen generator (see DESIGN.md for the
+// substitution rationale). All generators are deterministic given a seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// pick returns a uniformly random element of xs.
+func pick[T any](rng *rand.Rand, xs []T) T {
+	return xs[rng.Intn(len(xs))]
+}
+
+// sampleDistinct returns k distinct elements of xs (or all of xs when
+// k ≥ len(xs)), in random order.
+func sampleDistinct[T any](rng *rand.Rand, xs []T, k int) []T {
+	if k >= len(xs) {
+		k = len(xs)
+	}
+	idx := rng.Perm(len(xs))[:k]
+	out := make([]T, k)
+	for i, j := range idx {
+		out[i] = xs[j]
+	}
+	return out
+}
+
+// zipfIndex draws an index in [0, n) with a heavy head: index i has weight
+// 1/(i+1). It models "frequent collaborators" and "popular products".
+func zipfIndex(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / float64(i+1)
+	}
+	u := rng.Float64() * total
+	for i := 0; i < n; i++ {
+		u -= 1 / float64(i+1)
+		if u <= 0 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// corruptName abbreviates a "Given Surname" style name the way scraped
+// metadata often does ("Nan Tang" → "N Tang", "NJ Tang"), producing a token
+// that no longer matches the original under element tokenization.
+func corruptName(rng *rand.Rand, name string) string {
+	runes := []rune(name)
+	spaceAt := -1
+	for i, r := range runes {
+		if r == ' ' {
+			spaceAt = i
+			break
+		}
+	}
+	if spaceAt <= 0 {
+		return name + " Jr"
+	}
+	switch rng.Intn(3) {
+	case 0: // initial only: "N Tang"
+		return string(runes[0]) + string(runes[spaceAt:])
+	case 1: // doubled initial: "NJ Tang"
+		return string(runes[0]) + string(runes[1]) + string(runes[spaceAt:])
+	default: // swapped order: "Tang Nan"
+		return string(runes[spaceAt+1:]) + " " + string(runes[:spaceAt])
+	}
+}
+
+// wordsOf draws n words from a vocabulary with replacement.
+func wordsOf(rng *rand.Rand, vocab []string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = pick(rng, vocab)
+	}
+	return out
+}
+
+// join concatenates words with spaces without importing strings everywhere.
+func join(words []string) string {
+	s := ""
+	for i, w := range words {
+		if i > 0 {
+			s += " "
+		}
+		s += w
+	}
+	return s
+}
+
+// idf formats a deterministic identifier.
+func idf(prefix string, parts ...int) string {
+	s := prefix
+	for _, p := range parts {
+		s += fmt.Sprintf("-%03d", p)
+	}
+	return s
+}

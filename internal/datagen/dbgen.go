@@ -1,0 +1,133 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dime/internal/entity"
+)
+
+// DBGenSchema is the relation of the DBGen-style scalability generator: a
+// perturbation-based record generator standing in for the UT DBGen tool the
+// paper uses for its 20k–100k entity table.
+var DBGenSchema = entity.MustSchema("Name", "Tags", "City", "Code")
+
+// DBGenOptions parameterizes one large generated group.
+type DBGenOptions struct {
+	// NumEntities is the total group size (the paper sweeps 20k–100k).
+	NumEntities int
+	// ErrorRate is the fraction of entities drawn from a foreign population.
+	ErrorRate float64
+	// Seed drives generation.
+	Seed int64
+	// ClusterSize is the mean record-cluster size; 0 means 8.
+	ClusterSize int
+}
+
+// DBGen generates a large group of perturbed record clusters. A dominant
+// population shares a tag pool and name vocabulary, so positive
+// entity-matching rules chain its clusters into one pivot partition; the
+// injected foreign population shares nothing with it.
+func DBGen(opts DBGenOptions) *entity.Group {
+	if opts.NumEntities <= 0 {
+		opts.NumEntities = 1000
+	}
+	if opts.ClusterSize <= 0 {
+		opts.ClusterSize = 8
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	g := entity.NewGroup(fmt.Sprintf("dbgen-%d", opts.NumEntities), DBGenSchema)
+
+	// Home population resources. homeTags deliberately has a heavy-headed
+	// draw so clusters share tags and chain transitively.
+	homeTags := make([]string, 40)
+	for i := range homeTags {
+		homeTags[i] = fmt.Sprintf("tag%02d", i)
+	}
+	foreignTags := make([]string, 40)
+	for i := range foreignTags {
+		foreignTags[i] = fmt.Sprintf("ftag%02d", i)
+	}
+	cities := []string{"Springfield", "Rivertown", "Lakeside", "Hillcrest", "Mapleton", "Brookfield"}
+
+	nErr := int(float64(opts.NumEntities) * opts.ErrorRate)
+	nHome := opts.NumEntities - nErr
+	seq := 0
+
+	emitCluster := func(tags []string, foreign bool, budget int) int {
+		size := 1 + rng.Intn(opts.ClusterSize*2-1)
+		if size > budget {
+			size = budget
+		}
+		base := pick(rng, givenNames) + " " + pick(rng, surnames) + fmt.Sprintf(" %03d", rng.Intn(1000))
+		clusterTags := make([]string, 0, 6)
+		for len(clusterTags) < 5 {
+			t := tags[zipfIndex(rng, len(tags))]
+			dup := false
+			for _, x := range clusterTags {
+				if x == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				clusterTags = append(clusterTags, t)
+			}
+		}
+		city := pick(rng, cities)
+		code := fmt.Sprintf("%06d", rng.Intn(1000000))
+		for i := 0; i < size; i++ {
+			seq++
+			name := base
+			if i > 0 && rng.Float64() < 0.5 {
+				name = perturb(rng, base)
+			}
+			id := fmt.Sprintf("r%06d", seq)
+			e, err := entity.NewEntity(DBGenSchema, id, [][]string{
+				{name},
+				clusterTags,
+				{city},
+				{code},
+			})
+			if err != nil {
+				panic(err)
+			}
+			g.MustAdd(e)
+			if foreign {
+				g.MarkMisCategorized(id)
+			}
+		}
+		return size
+	}
+
+	for emitted := 0; emitted < nHome; {
+		emitted += emitCluster(homeTags, false, nHome-emitted)
+	}
+	for emitted := 0; emitted < nErr; {
+		emitted += emitCluster(foreignTags, true, nErr-emitted)
+	}
+	return g
+}
+
+// perturb applies a single character-level edit to a string, emulating the
+// typo perturbations of record-linkage generators.
+func perturb(rng *rand.Rand, s string) string {
+	r := []rune(s)
+	if len(r) == 0 {
+		return s
+	}
+	i := rng.Intn(len(r))
+	switch rng.Intn(3) {
+	case 0: // substitute
+		r[i] = rune('a' + rng.Intn(26))
+		return string(r)
+	case 1: // delete
+		return string(append(r[:i:i], r[i+1:]...))
+	default: // insert
+		out := make([]rune, 0, len(r)+1)
+		out = append(out, r[:i]...)
+		out = append(out, rune('a'+rng.Intn(26)))
+		out = append(out, r[i:]...)
+		return string(out)
+	}
+}

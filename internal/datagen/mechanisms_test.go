@@ -1,0 +1,134 @@
+package datagen_test
+
+import (
+	"testing"
+
+	"dime/internal/core"
+	"dime/internal/datagen"
+	"dime/internal/presets"
+)
+
+// These tests pin the engineered mechanisms the experiment shapes rely on,
+// so generator refactors cannot silently flatten the paper's curves.
+
+// TestNegativeRuleGapExists: the second negative rule must add recall over
+// the first (the Figure-7 scrollbar gap), driven by intruders — some of them
+// cross-listed accessories — that φ−4 cannot condemn but φ−5 can.
+func TestNegativeRuleGapExists(t *testing.T) {
+	var caughtLater int
+	for seed := int64(11); seed < 15; seed++ {
+		c := datagen.Amazon(datagen.AmazonOptions{ProductsPerCategory: 60, ErrorRate: 0.3, Seed: seed,
+			Categories: []string{"Router", "Adapter", "Blender", "Puzzle"}})
+		cfg := presets.AmazonConfig(c.TrueTree, c.TrueMapper())
+		rs := presets.AmazonRules(cfg)
+		for _, g := range c.Groups {
+			res, err := core.DIMEPlus(g, core.Options{Config: cfg, Rules: rs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			level1 := map[string]bool{}
+			for _, id := range res.MisCategorizedIDs(0) {
+				level1[id] = true
+			}
+			for _, id := range res.MisCategorizedIDs(1) {
+				if !level1[id] && g.Truth[id] {
+					caughtLater++
+				}
+			}
+		}
+	}
+	if caughtLater == 0 {
+		t.Fatal("no intruder was caught by φ−5 only; the scrollbar gap mechanism is gone")
+	}
+}
+
+// TestColdStartNativesSurviveDIME: cold-start natives (no popular
+// co-purchases) land outside the pivot but the description ontology keeps
+// most of them from being flagged — the precision edge over CR.
+func TestColdStartNativesSurviveDIME(t *testing.T) {
+	c := datagen.Amazon(datagen.AmazonOptions{ProductsPerCategory: 80, ErrorRate: 0.2, Seed: 13,
+		Categories: []string{"Router", "Adapter", "Blender", "Puzzle"}})
+	g := c.Groups[0]
+	cfg := presets.AmazonConfig(c.TrueTree, c.TrueMapper())
+	rs := presets.AmazonRules(cfg)
+	res, err := core.DIMEPlus(g, core.Options{Config: cfg, Rules: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := map[string]bool{}
+	for _, id := range res.Final() {
+		flagged[id] = true
+	}
+	nativeFlagged := 0
+	natives := 0
+	for _, e := range g.Entities {
+		if g.Truth[e.ID] {
+			continue
+		}
+		natives++
+		if flagged[e.ID] {
+			nativeFlagged++
+		}
+	}
+	// With the oracle description mapper, native false positives must be
+	// rare even though cold-start natives sit outside the pivot.
+	if frac := float64(nativeFlagged) / float64(natives); frac > 0.1 {
+		t.Fatalf("%.0f%% of natives flagged; description ontology is not protecting cold-start products",
+			frac*100)
+	}
+}
+
+// TestScholarIntruderFlavours: each error flavour must be discovered at the
+// scrollbar level its design targets (corrupt names at NR1, far-field
+// doppelgängers by NR2).
+func TestScholarIntruderFlavours(t *testing.T) {
+	g := datagen.Scholar(datagen.ScholarOptions{NumPubs: 200, ErrorRate: 0.08, Seed: 17})
+	cfg := presets.ScholarConfig()
+	rs := presets.ScholarRules(cfg)
+	res, err := core.DIMEPlus(g, core.Options{Config: cfg, Rules: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	level1 := map[string]bool{}
+	for _, id := range res.MisCategorizedIDs(0) {
+		level1[id] = true
+	}
+	level2 := map[string]bool{}
+	for _, id := range res.MisCategorizedIDs(1) {
+		level2[id] = true
+	}
+	ai, _ := g.Schema.Index("Authors")
+	owner := g.Name
+	var corruptCaught, corruptTotal, farCaught, farTotal int
+	for _, e := range g.Entities {
+		if !g.Truth[e.ID] {
+			continue
+		}
+		hasOwner := false
+		for _, a := range e.Value(ai) {
+			if a == owner {
+				hasOwner = true
+			}
+		}
+		if !hasOwner { // corrupt-name flavour
+			corruptTotal++
+			if level1[e.ID] {
+				corruptCaught++
+			}
+		} else {
+			farTotal++
+			if level2[e.ID] {
+				farCaught++
+			}
+		}
+	}
+	if corruptTotal == 0 || farTotal == 0 {
+		t.Fatalf("flavours missing: corrupt=%d far=%d", corruptTotal, farTotal)
+	}
+	if corruptCaught < corruptTotal {
+		t.Fatalf("NR1 caught %d/%d corrupt-name intruders", corruptCaught, corruptTotal)
+	}
+	if farCaught == 0 {
+		t.Fatal("NR2 caught no owner-name doppelgängers")
+	}
+}

@@ -1,0 +1,178 @@
+package datagen
+
+// Name and vocabulary pools for the synthetic generators. The pools are
+// intentionally large enough that random draws rarely collide across
+// communities, while owner-name collisions across fields are injected
+// explicitly by the Scholar generator.
+
+var givenNames = []string{
+	"Wei", "Nan", "Guoliang", "Jianhua", "Shuang", "Xin", "Lei", "Ming",
+	"Anna", "Boris", "Carla", "David", "Elena", "Felix", "Grace", "Henry",
+	"Irene", "Jonas", "Karin", "Louis", "Maria", "Nora", "Omar", "Paula",
+	"Quentin", "Rosa", "Stefan", "Tara", "Ulrich", "Vera", "Walter", "Xenia",
+	"Yusuf", "Zoe", "Amir", "Bianca", "Cheng", "Divya", "Emil", "Fatima",
+	"Gustav", "Hana", "Igor", "Jing", "Kavya", "Liang", "Mei", "Niko",
+	"Olga", "Pierre", "Qing", "Ravi", "Sofia", "Tomas", "Uma", "Viktor",
+}
+
+var surnames = []string{
+	"Tang", "Li", "Feng", "Hao", "Chen", "Wang", "Zhang", "Liu", "Yang",
+	"Huang", "Zhao", "Wu", "Zhou", "Xu", "Sun", "Ma", "Gao", "Lin", "He",
+	"Guo", "Smith", "Johnson", "Brown", "Miller", "Davis", "Garcia",
+	"Martinez", "Lopez", "Wilson", "Anderson", "Taylor", "Thomas", "Moore",
+	"Martin", "Lee", "Thompson", "White", "Harris", "Clark", "Lewis",
+	"Mueller", "Schmidt", "Fischer", "Weber", "Meyer", "Wagner", "Becker",
+	"Hoffmann", "Koch", "Richter", "Klein", "Wolf", "Neumann", "Schwarz",
+}
+
+// subfieldVocab provides per-subfield title vocabularies: titles of
+// publications in a subfield draw mostly from its own pool, so title
+// similarity correlates with community membership (the signal the φ−3 rule
+// exploits).
+var subfieldVocab = map[string][]string{
+	"Database": {
+		"query", "index", "transaction", "relational", "join", "schema",
+		"storage", "sql", "optimizer", "cleaning", "integration", "olap",
+		"column", "tuple", "view", "partition", "log", "recovery",
+	},
+	"System": {
+		"kernel", "scheduler", "distributed", "parallel", "filesystem",
+		"virtualization", "cache", "memory", "latency", "throughput",
+		"consensus", "replication", "fault", "cluster", "runtime", "placement",
+	},
+	"Data Mining": {
+		"pattern", "frequent", "outlier", "clustering", "itemset", "stream",
+		"anomaly", "graph", "community", "embedding", "association", "sampling",
+	},
+	"Information Retrieval": {
+		"ranking", "retrieval", "relevance", "search", "document", "corpus",
+		"feedback", "snippet", "crawler", "indexer", "topical", "news",
+	},
+	"Machine Learning": {
+		"learning", "neural", "gradient", "kernel", "classifier", "regression",
+		"supervised", "bayesian", "optimization", "feature", "boosting", "deep",
+	},
+	"Computational Linguistics": {
+		"parsing", "translation", "semantics", "syntax", "discourse",
+		"sentiment", "morphology", "tagging", "grammar", "dialogue",
+	},
+	"Theory": {
+		"complexity", "approximation", "bounds", "algorithm", "hardness",
+		"combinatorial", "randomized", "lower", "polynomial", "lattice",
+	},
+	"Chemical Sciences (general)": {
+		"oxidative", "catalyst", "polymer", "synthesis", "desulfurization",
+		"solvent", "reaction", "glycol", "compound", "extraction", "ligand",
+	},
+	"Analytical Chemistry": {
+		"spectrometry", "chromatography", "assay", "titration", "sensor",
+		"detection", "electrode", "sample", "calibration", "reagent",
+	},
+	"Organic Chemistry": {
+		"alkene", "aromatic", "stereoselective", "cyclization", "amide",
+		"carbonyl", "heterocycle", "substitution", "yield", "enantiomer",
+	},
+	"Physics (general)": {
+		"quantum", "photon", "lattice", "superconductor", "entanglement",
+		"plasma", "boson", "spin", "field", "symmetry",
+	},
+	"Mathematics": {
+		"manifold", "topology", "conjecture", "invariant", "homology",
+		"algebraic", "measure", "operator", "spectral", "convex",
+	},
+	"Biology (general)": {
+		"genome", "protein", "cell", "receptor", "enzyme", "expression",
+		"mutation", "pathway", "membrane", "transcription",
+	},
+	"Medicine": {
+		"clinical", "trial", "patient", "therapy", "diagnosis", "dosage",
+		"cohort", "symptom", "treatment", "vaccine",
+	},
+	"Electrical Engineering": {
+		"converter", "inverter", "voltage", "circuit", "semiconductor",
+		"modulation", "amplifier", "transistor", "impedance", "rectifier",
+	},
+	"Mechanical Engineering": {
+		"turbulence", "fluid", "thermal", "stress", "fatigue", "vibration",
+		"aerodynamic", "convection", "torque", "bearing",
+	},
+	"Economics": {
+		"market", "equilibrium", "inflation", "elasticity", "auction",
+		"welfare", "monetary", "labor", "incentive", "utility",
+	},
+	"Psychology": {
+		"cognitive", "behavior", "memory", "perception", "attention",
+		"emotion", "bias", "social", "developmental", "personality",
+	},
+}
+
+var genericTitleWords = []string{
+	"efficient", "scalable", "novel", "robust", "adaptive", "framework",
+	"approach", "analysis", "study", "evaluation", "survey", "system",
+	"model", "method", "towards", "revisiting", "understanding", "fast",
+}
+
+// amazonThemes lists product themes and their categories; sibling categories
+// of a theme share part of their description vocabulary, making them the
+// "similar categories" the paper injects mis-categorized products from.
+var amazonThemes = map[string][]string{
+	"Electronics":     {"Router", "Adapter", "Keyboard", "Monitor", "Headphones", "Webcam"},
+	"Home & Kitchen":  {"Blender", "Toaster", "Cookware", "Vacuum", "Kettle", "Mixer"},
+	"Toys & Games":    {"Puzzle", "Board Game", "Action Figure", "Building Blocks", "Doll", "RC Car"},
+	"Beauty":          {"Shampoo", "Lotion", "Perfume", "Lipstick", "Sunscreen", "Serum"},
+	"Office Products": {"Stapler", "Notebook", "Printer Paper", "Pen Set", "Organizer", "Whiteboard"},
+}
+
+// categoryVocab gives each category a distinctive description vocabulary;
+// themeVocab words are shared across a theme's categories.
+var categoryVocab = map[string][]string{
+	"Router":          {"wireless", "broadband", "ethernet", "dualband", "firewall", "gigabit", "antenna", "wan"},
+	"Adapter":         {"usb", "converter", "plug", "dongle", "compatible", "portq", "lan", "powered"},
+	"Keyboard":        {"mechanical", "keys", "backlit", "typing", "switches", "numpad", "ergonomic", "keycap"},
+	"Monitor":         {"display", "resolution", "panel", "hdmi", "screen", "pixels", "refresh", "bezel"},
+	"Headphones":      {"audio", "bass", "earcup", "noise", "cancelling", "stereo", "driver", "headband"},
+	"Webcam":          {"camera", "video", "microphone", "streaming", "autofocus", "lens", "conference", "capture"},
+	"Blender":         {"blend", "smoothie", "pitcher", "blades", "crush", "puree", "motor", "jar"},
+	"Toaster":         {"toast", "slots", "browning", "crumb", "bagel", "defrost", "slice", "lever"},
+	"Cookware":        {"nonstick", "skillet", "saucepan", "induction", "lid", "ovensafe", "frying", "stainless"},
+	"Vacuum":          {"suction", "filter", "cordless", "dustbin", "carpet", "brush", "hepa", "floors"},
+	"Kettle":          {"boil", "water", "spout", "cordlessk", "temperature", "stainlessk", "rapid", "gooseneck"},
+	"Mixer":           {"dough", "whisk", "bowl", "attachments", "knead", "beater", "stand", "speeds"},
+	"Puzzle":          {"pieces", "jigsaw", "artwork", "interlocking", "poster", "challenging", "assembled", "collage"},
+	"Board Game":      {"players", "dice", "strategy", "cards", "tokens", "family", "turns", "tabletop"},
+	"Action Figure":   {"articulated", "collectible", "figure", "poseable", "superhero", "accessories", "sculpt", "vinyl"},
+	"Building Blocks": {"bricks", "build", "construction", "pieces2", "stem", "interlock", "baseplate", "minifig"},
+	"Doll":            {"doll", "dress", "hair", "outfit", "accessories2", "playset", "fashion", "braid"},
+	"RC Car":          {"remote", "racing", "rechargeable", "offroad", "throttle", "wheels", "drift", "scale"},
+	"Shampoo":         {"hairwash", "scalp", "sulfate", "lather", "moisturizing", "dandruff", "keratin", "rinse"},
+	"Lotion":          {"skin", "hydrating", "cream", "moisture", "soothing", "dryness", "shea", "absorbs"},
+	"Perfume":         {"fragrance", "scent", "notes", "floral", "musk", "spray", "lasting", "citrus"},
+	"Lipstick":        {"lip", "matte", "shade", "pigment", "gloss", "longwear", "creamy", "tint"},
+	"Sunscreen":       {"spf", "uva", "sunblock", "waterproofs", "protection", "zinc", "broad", "sand"},
+	"Serum":           {"vitamin", "retinol", "antiaging", "wrinkle", "glow", "collagen", "hyaluronic", "brighten"},
+	"Stapler":         {"staples", "sheets", "jamfree", "desktop", "fastening", "swingline", "capacity", "binder"},
+	"Notebook":        {"pages", "ruled", "spiral", "journal", "paperb", "cover", "margins", "notes"},
+	"Printer Paper":   {"ream", "letter", "bright", "inkjet", "sheetsp", "multipurpose", "acidfree", "gsm"},
+	"Pen Set":         {"ink", "ballpoint", "gel", "writing", "nib", "smooth", "refill", "rollerball"},
+	"Organizer":       {"drawers", "compartments", "desk", "storage", "trays", "mesh", "supplies", "sorter"},
+	"Whiteboard":      {"dryerase", "marker", "magnetic", "board", "eraser", "mounting", "surface", "aluminum"},
+}
+
+var themeVocab = map[string][]string{
+	"Electronics":     {"device", "cable", "wireless2", "tech", "ports", "setup", "compact", "led"},
+	"Home & Kitchen":  {"kitchen", "dishwasher", "household", "cooking", "easyclean", "durable2", "counter", "meal"},
+	"Toys & Games":    {"kids", "fun", "ages", "play", "gift", "imagination", "colorful", "safe"},
+	"Beauty":          {"gentle", "natural", "formula", "daily", "dermatologist", "paraben", "radiant", "nourish"},
+	"Office Products": {"office", "school", "organize", "professional", "documents", "workspace", "supplies2", "home2"},
+}
+
+var genericProductWords = []string{
+	"quality", "premium", "value", "pack", "warranty", "brand", "best",
+	"easy", "durable", "lightweight", "design", "perfect",
+}
+
+var brandPool = []string{
+	"Acme", "Zenith", "Nova", "Pinnacle", "Vertex", "Orion", "Stellar",
+	"Quantum", "Apex", "Aurora", "Cascade", "Summit", "Horizon", "Atlas",
+	"Compass", "Beacon", "Harbor", "Crestline", "Northway", "Eastwood",
+}

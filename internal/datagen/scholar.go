@@ -1,0 +1,328 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dime/internal/entity"
+	"dime/internal/ontology"
+)
+
+// ScholarSchema is the eight-attribute relation of the paper's Google
+// Scholar dataset (Section VI-A).
+var ScholarSchema = entity.MustSchema(
+	"Title", "Authors", "Date", "Venue", "Volume", "Issue", "Pages", "Publisher",
+)
+
+// ScholarOptions parameterizes one synthetic Scholar page.
+type ScholarOptions struct {
+	// Owner is the page owner's name; empty picks one from the pools.
+	Owner string
+	// NumPubs is the number of correct publications (the paper's pages
+	// average 340 entities); 0 means 150.
+	NumPubs int
+	// ErrorRate is the fraction of mis-categorized entities added on top,
+	// as a share of the final group size (e.g. 0.1 adds ~11% of NumPubs).
+	ErrorRate float64
+	// Seed drives generation; same seed, same page.
+	Seed int64
+
+	// Shares of the error budget per intruder flavour; they are normalized.
+	// CorruptShare: the owner's name is mangled and coauthors are random
+	// (caught by φ−1). FarFieldShare: a name doppelgänger publishing in a
+	// different field (caught by φ−2/φ−3). NearFieldShare: a doppelgänger in
+	// another subfield of the same field (hardest; mostly φ−3 territory).
+	CorruptShare, FarFieldShare, NearFieldShare float64
+
+	// StrayRate is the fraction of correct publications that are "stray":
+	// fresh coauthors and an off-subfield venue, landing in small partitions
+	// (these drive the precision drop of aggressive negative rules).
+	StrayRate float64
+
+	// SecondaryRate is the fraction of correct publications forming a
+	// secondary community: a coherent side-line of work (own collaborator
+	// pool, one fixed off-subfield venue set) that stays outside the pivot
+	// as a clean mid-size partition — the zero-error [10,100) rows of
+	// Table I.
+	SecondaryRate float64
+
+	// NoiseRate is the fraction of correct publications whose owner name was
+	// mangled by the scraper — they share no author token with the pivot and
+	// become φ−1 false positives, the reason NR1 precision is below 1 in the
+	// paper's Figure 8.
+	NoiseRate float64
+}
+
+func (o *ScholarOptions) defaults() {
+	if o.NumPubs == 0 {
+		o.NumPubs = 150
+	}
+	if o.CorruptShare == 0 && o.FarFieldShare == 0 && o.NearFieldShare == 0 {
+		o.CorruptShare, o.FarFieldShare, o.NearFieldShare = 0.55, 0.25, 0.20
+	}
+	if o.StrayRate == 0 {
+		o.StrayRate = 0.03
+	}
+	if o.NoiseRate == 0 {
+		o.NoiseRate = 0.005
+	}
+	if o.SecondaryRate == 0 {
+		o.SecondaryRate = 0.08
+	}
+	if o.SecondaryRate < 0 {
+		o.SecondaryRate = 0
+	}
+}
+
+// scholarUniverse indexes the built-in venue ontology by field and subfield.
+type scholarUniverse struct {
+	tree      *ontology.Tree
+	fields    []string
+	subfields map[string][]string // field -> subfields
+	venues    map[string][]string // subfield -> venues
+}
+
+func newScholarUniverse() *scholarUniverse {
+	u := &scholarUniverse{
+		tree:      ontology.VenueTree(),
+		subfields: make(map[string][]string),
+		venues:    make(map[string][]string),
+	}
+	for _, field := range u.tree.Root().Children() {
+		u.fields = append(u.fields, field.Label)
+		for _, sub := range field.Children() {
+			u.subfields[field.Label] = append(u.subfields[field.Label], sub.Label)
+			for _, v := range sub.Children() {
+				u.venues[sub.Label] = append(u.venues[sub.Label], v.Label)
+			}
+		}
+	}
+	return u
+}
+
+func (u *scholarUniverse) vocabOf(subfield string) []string {
+	if v, ok := subfieldVocab[subfield]; ok {
+		return v
+	}
+	return genericTitleWords
+}
+
+// Scholar generates one synthetic Google Scholar page with ground truth.
+// The page owner works in a randomly chosen computer-science subfield;
+// correct publications share coauthors from the owner's collaborator pool
+// and venues from the home field, while the injected intruders reproduce the
+// three real-world error flavours described in ScholarOptions.
+func Scholar(opts ScholarOptions) *entity.Group {
+	opts.defaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	u := newScholarUniverse()
+
+	owner := opts.Owner
+	if owner == "" {
+		owner = pick(rng, givenNames) + " " + pick(rng, surnames)
+	}
+	homeField := "Computer Science"
+	homeSubs := u.subfields[homeField]
+	homeSub := pick(rng, homeSubs)
+
+	// Collaborator pool: heavy-headed so frequent collaborators recur across
+	// publications and the positive rule ov(Authors) ≥ 2 links them.
+	collaborators := make([]string, 24)
+	for i := range collaborators {
+		collaborators[i] = pick(rng, givenNames) + " " + pick(rng, surnames)
+	}
+
+	g := entity.NewGroup(owner, ScholarSchema)
+	seq := 0
+	add := func(title string, authors []string, venue string, mis bool) {
+		seq++
+		id := fmt.Sprintf("p%04d", seq)
+		e, err := entity.NewEntity(ScholarSchema, id, [][]string{
+			{title},
+			authors,
+			{fmt.Sprintf("%d", 1995+rng.Intn(25))},
+			{venue},
+			{fmt.Sprintf("%d", 1+rng.Intn(40))},
+			{fmt.Sprintf("%d", 1+rng.Intn(12))},
+			{fmt.Sprintf("%d-%d", 1+rng.Intn(400), 401+rng.Intn(400))},
+			{pick(rng, []string{"ACM", "IEEE", "Springer", "Elsevier", "VLDB Endowment"})},
+		})
+		if err != nil {
+			panic(err)
+		}
+		g.MustAdd(e)
+		if mis {
+			g.MarkMisCategorized(id)
+		}
+	}
+
+	titleOf := func(sub string) string {
+		words := wordsOf(rng, u.vocabOf(sub), 3+rng.Intn(3))
+		words = append(words, pick(rng, genericTitleWords), pick(rng, genericTitleWords))
+		return join(words)
+	}
+	coauthorsOf := func(n int) []string {
+		set := map[string]bool{}
+		out := []string{owner}
+		for len(out) < n+1 {
+			c := collaborators[zipfIndex(rng, len(collaborators))]
+			if !set[c] && c != owner {
+				set[c] = true
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	freshAuthors := func(n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = pick(rng, givenNames) + " " + pick(rng, surnames)
+		}
+		return out
+	}
+
+	// Split the home field's subfields into the owner's home subfield, two
+	// "excursion" subfields the main community also publishes in, and the
+	// remaining "stray" subfields that only odd one-off publications touch.
+	// ϕ+2 merges same-subfield publications (the owner is a shared author on
+	// every correct publication), so this split controls which correct
+	// publications join the pivot and which land in small partitions — the
+	// structure Table I reports.
+	var excursionSubs, straySubs []string
+	for _, s := range homeSubs {
+		if s == homeSub {
+			continue
+		}
+		if len(excursionSubs) < 2 {
+			excursionSubs = append(excursionSubs, s)
+		} else {
+			straySubs = append(straySubs, s)
+		}
+	}
+	if len(straySubs) == 0 {
+		straySubs = homeSubs
+	}
+
+	// The secondary community publishes in one fixed stray subfield with its
+	// own collaborator pool; its members merge with each other (ϕ+2 via the
+	// shared owner and same-subfield venues) but not with the pivot.
+	secondarySub := pick(rng, straySubs)
+	secondaryPool := make([]string, 6)
+	for i := range secondaryPool {
+		secondaryPool[i] = pick(rng, givenNames) + " " + pick(rng, surnames)
+	}
+
+	// Correct publications.
+	nStray := int(float64(opts.NumPubs)*opts.StrayRate + 0.5)
+	nNoise := int(float64(opts.NumPubs)*opts.NoiseRate + 0.5)
+	nSecondary := int(float64(opts.NumPubs)*opts.SecondaryRate + 0.5)
+	for i := 0; i < opts.NumPubs; i++ {
+		switch {
+		case i >= nNoise+nStray && i < nNoise+nStray+nSecondary:
+			authors := append([]string{owner},
+				sampleDistinct(rng, secondaryPool, 1+rng.Intn(3))...)
+			add(titleOf(secondarySub), authors, pick(rng, u.venues[secondarySub]), false)
+		case i < nNoise:
+			// Scraper noise: corrupted owner name, fresh coauthors, home
+			// venue. Shares no author token with the pivot → φ−1 flags it
+			// (a false positive the paper also observes).
+			authors := append([]string{corruptName(rng, owner)}, freshAuthors(1+rng.Intn(2))...)
+			add(titleOf(homeSub), authors, pick(rng, u.venues[homeSub]), false)
+		case i < nNoise+nStray:
+			if rng.Float64() < 0.3 {
+				// Cross-field stray: a correct but unusual publication in a
+				// different field. φ−2 and φ−3 flag it (false positive).
+				field := pick(rng, u.fields)
+				for field == homeField {
+					field = pick(rng, u.fields)
+				}
+				sub := pick(rng, u.subfields[field])
+				authors := append([]string{owner}, freshAuthors(1+rng.Intn(3))...)
+				add(titleOf(sub), authors, pick(rng, u.venues[sub]), false)
+			} else {
+				// Same-field stray: fresh coauthors, venue in a subfield the
+				// main community does not publish in → a small partition
+				// that only title-based rules (φ−3) can flag.
+				sub := pick(rng, straySubs)
+				authors := append([]string{owner}, freshAuthors(1+rng.Intn(3))...)
+				add(titleOf(sub), authors, pick(rng, u.venues[sub]), false)
+			}
+		default:
+			sub := homeSub
+			if rng.Float64() < 0.15 {
+				sub = pick(rng, excursionSubs) // same-community excursions
+			}
+			add(titleOf(sub), coauthorsOf(1+rng.Intn(4)), pick(rng, u.venues[sub]), false)
+		}
+	}
+
+	// Intruders: the final group has roughly ErrorRate mis-categorized mass.
+	nErr := int(float64(opts.NumPubs)*opts.ErrorRate/(1-opts.ErrorRate) + 0.5)
+	totalShare := opts.CorruptShare + opts.FarFieldShare + opts.NearFieldShare
+	nCorrupt := int(float64(nErr)*opts.CorruptShare/totalShare + 0.5)
+	nFar := int(float64(nErr)*opts.FarFieldShare/totalShare + 0.5)
+	nNear := nErr - nCorrupt - nFar
+	if nNear < 0 {
+		nNear = 0
+	}
+
+	otherFields := make([]string, 0, len(u.fields))
+	for _, f := range u.fields {
+		if f != homeField {
+			otherFields = append(otherFields, f)
+		}
+	}
+
+	for i := 0; i < nCorrupt; i++ {
+		field := pick(rng, otherFields)
+		sub := pick(rng, u.subfields[field])
+		authors := append([]string{corruptName(rng, owner)}, freshAuthors(2+rng.Intn(3))...)
+		add(titleOf(sub), authors, pick(rng, u.venues[sub]), true)
+	}
+	// The far-field intruders are the publications of ONE name doppelgänger
+	// (like the chemist Nan Tang of Figure 1): they share that person's
+	// collaborator pool and subfield, so they cluster into their own wrong
+	// partition — mis-categorized entities can sit in mid-size partitions,
+	// as Table I shows.
+	doppelField := pick(rng, otherFields)
+	doppelSub := pick(rng, u.subfields[doppelField])
+	doppelPool := make([]string, 5)
+	for i := range doppelPool {
+		doppelPool[i] = pick(rng, givenNames) + " " + pick(rng, surnames)
+	}
+	for i := 0; i < nFar; i++ {
+		authors := append([]string{owner}, sampleDistinct(rng, doppelPool, 2+rng.Intn(2))...)
+		add(titleOf(doppelSub), authors, pick(rng, u.venues[doppelSub]), true)
+	}
+	for i := 0; i < nNear; i++ {
+		sub := pick(rng, homeSubs)
+		for sub == homeSub && len(homeSubs) > 1 {
+			sub = pick(rng, homeSubs)
+		}
+		authors := append([]string{owner}, freshAuthors(2+rng.Intn(3))...)
+		add(titleOf(sub), authors, pick(rng, u.venues[sub]), true)
+	}
+	return g
+}
+
+// ScholarPages generates n pages with consecutive seeds, mirroring the
+// paper's 200-page corpus. Pages alternate between researchers with and
+// without a secondary community, reproducing the per-page variance of the
+// paper's Figure 8 (some pages punish aggressive negative rules badly,
+// others not at all).
+func ScholarPages(n int, numPubs int, errorRate float64, seed int64) []*entity.Group {
+	pages := make([]*entity.Group, n)
+	for i := range pages {
+		secondary := -1.0
+		if i%3 == 0 {
+			secondary = 0.04 + float64(i%5)*0.02
+		}
+		pages[i] = Scholar(ScholarOptions{
+			NumPubs:       numPubs,
+			ErrorRate:     errorRate,
+			SecondaryRate: secondary,
+			Seed:          seed + int64(i)*7919,
+		})
+	}
+	return pages
+}

@@ -1,0 +1,291 @@
+// Package entity defines the data model used throughout DIME: multi-valued
+// relations, entities, and groups of entities that some upstream categorizer
+// placed together.
+//
+// An entity is defined over a multi-valued relation R(A1, ..., Am): each
+// attribute holds a list of string values (for example, the Authors attribute
+// of a publication holds one value per author). A group is a set of entities
+// that were categorized together and that DIME inspects for mis-categorized
+// members.
+package entity
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schema describes the multi-valued relation R(A1, ..., Am) the entities of a
+// group are defined over. Attribute order is significant: it fixes attribute
+// indexes used by rules and signatures.
+type Schema struct {
+	// Attributes holds the attribute names in declaration order.
+	Attributes []string
+
+	index map[string]int
+}
+
+// NewSchema builds a schema over the given attribute names. Names must be
+// non-empty and unique.
+func NewSchema(attributes ...string) (*Schema, error) {
+	if len(attributes) == 0 {
+		return nil, fmt.Errorf("entity: schema needs at least one attribute")
+	}
+	s := &Schema{
+		Attributes: append([]string(nil), attributes...),
+		index:      make(map[string]int, len(attributes)),
+	}
+	for i, a := range attributes {
+		if a == "" {
+			return nil, fmt.Errorf("entity: attribute %d has empty name", i)
+		}
+		if _, dup := s.index[a]; dup {
+			return nil, fmt.Errorf("entity: duplicate attribute %q", a)
+		}
+		s.index[a] = i
+	}
+	return s, nil
+}
+
+// MustSchema is like NewSchema but panics on error. Intended for statically
+// known schemas (tests, generators, presets).
+func MustSchema(attributes ...string) *Schema {
+	s, err := NewSchema(attributes...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len reports the number of attributes in the schema.
+func (s *Schema) Len() int { return len(s.Attributes) }
+
+// Index returns the position of the named attribute and whether it exists.
+func (s *Schema) Index(attribute string) (int, bool) {
+	i, ok := s.index[attribute]
+	return i, ok
+}
+
+// Name returns the attribute name at position i.
+func (s *Schema) Name(i int) string { return s.Attributes[i] }
+
+// Equal reports whether two schemas declare the same attributes in the same
+// order.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == o {
+		return true
+	}
+	if s == nil || o == nil || len(s.Attributes) != len(o.Attributes) {
+		return false
+	}
+	for i := range s.Attributes {
+		if s.Attributes[i] != o.Attributes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Entity is a single record over a schema. Values[i] holds the (possibly
+// multi-valued) content of attribute i. The zero ID is valid but IDs should be
+// unique within a group; DIME uses them to report results and to key caches.
+type Entity struct {
+	// ID uniquely identifies the entity within its group.
+	ID string
+	// Values holds one value list per schema attribute.
+	Values [][]string
+}
+
+// NewEntity creates an entity with the given ID over a schema, copying the
+// provided value lists. values must have exactly schema.Len() entries.
+func NewEntity(schema *Schema, id string, values [][]string) (*Entity, error) {
+	if len(values) != schema.Len() {
+		return nil, fmt.Errorf("entity %q: got %d value lists, schema has %d attributes",
+			id, len(values), schema.Len())
+	}
+	e := &Entity{ID: id, Values: make([][]string, len(values))}
+	for i, vs := range values {
+		e.Values[i] = append([]string(nil), vs...)
+	}
+	return e, nil
+}
+
+// Value returns the value list of attribute i. Out-of-range indexes yield nil.
+func (e *Entity) Value(i int) []string {
+	if i < 0 || i >= len(e.Values) {
+		return nil
+	}
+	return e.Values[i]
+}
+
+// Joined returns the values of attribute i joined by a single space. It is
+// the canonical "string view" used by character-based similarity functions.
+func (e *Entity) Joined(i int) string {
+	return strings.Join(e.Value(i), " ")
+}
+
+// Clone returns a deep copy of the entity.
+func (e *Entity) Clone() *Entity {
+	c := &Entity{ID: e.ID, Values: make([][]string, len(e.Values))}
+	for i, vs := range e.Values {
+		c.Values[i] = append([]string(nil), vs...)
+	}
+	return c
+}
+
+// String renders a compact one-line description, mainly for debugging.
+func (e *Entity) String() string {
+	var b strings.Builder
+	b.WriteString(e.ID)
+	b.WriteString("{")
+	for i, vs := range e.Values {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(strings.Join(vs, ","))
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Group is a set of entities that were categorized together by an upstream
+// process. Truth optionally records ground-truth labels for evaluation:
+// Truth[id] is true when the entity with that ID is mis-categorized.
+type Group struct {
+	// Name identifies the group (e.g. a Scholar page owner or a product
+	// category).
+	Name string
+	// Schema is the relation all entities are defined over.
+	Schema *Schema
+	// Entities holds the group members.
+	Entities []*Entity
+	// Truth maps entity ID -> true when the entity is mis-categorized.
+	// It may be nil when ground truth is unknown.
+	Truth map[string]bool
+}
+
+// NewGroup creates an empty group over the given schema.
+func NewGroup(name string, schema *Schema) *Group {
+	return &Group{Name: name, Schema: schema}
+}
+
+// Add appends an entity to the group. The entity must match the group schema
+// width; it returns an error otherwise or when the ID duplicates an existing
+// member.
+func (g *Group) Add(e *Entity) error {
+	if len(e.Values) != g.Schema.Len() {
+		return fmt.Errorf("entity %q: %d value lists, schema has %d attributes",
+			e.ID, len(e.Values), g.Schema.Len())
+	}
+	for _, x := range g.Entities {
+		if x.ID == e.ID {
+			return fmt.Errorf("entity %q: duplicate ID in group %q", e.ID, g.Name)
+		}
+	}
+	g.Entities = append(g.Entities, e)
+	return nil
+}
+
+// MustAdd is Add that panics on error, for generators and tests.
+func (g *Group) MustAdd(e *Entity) {
+	if err := g.Add(e); err != nil {
+		panic(err)
+	}
+}
+
+// Size reports the number of entities in the group.
+func (g *Group) Size() int { return len(g.Entities) }
+
+// MarkMisCategorized records ground truth for an entity ID.
+func (g *Group) MarkMisCategorized(id string) {
+	if g.Truth == nil {
+		g.Truth = make(map[string]bool)
+	}
+	g.Truth[id] = true
+}
+
+// MisCategorizedIDs returns the sorted IDs of entities marked mis-categorized
+// in the ground truth.
+func (g *Group) MisCategorizedIDs() []string {
+	ids := make([]string, 0, len(g.Truth))
+	for id, bad := range g.Truth {
+		if bad {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ByID returns the entity with the given ID, or nil when absent.
+func (g *Group) ByID(id string) *Entity {
+	for _, e := range g.Entities {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// jsonGroup is the serialized form of a Group.
+type jsonGroup struct {
+	Name       string              `json:"name"`
+	Attributes []string            `json:"attributes"`
+	Entities   []jsonEntity        `json:"entities"`
+	Truth      map[string]bool     `json:"truth,omitempty"`
+	Extra      map[string][]string `json:"-"`
+}
+
+type jsonEntity struct {
+	ID     string     `json:"id"`
+	Values [][]string `json:"values"`
+}
+
+// MarshalJSON serializes the group including schema and ground truth.
+func (g *Group) MarshalJSON() ([]byte, error) {
+	jg := jsonGroup{Name: g.Name, Attributes: g.Schema.Attributes, Truth: g.Truth}
+	for _, e := range g.Entities {
+		jg.Entities = append(jg.Entities, jsonEntity{ID: e.ID, Values: e.Values})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON restores a group serialized by MarshalJSON.
+func (g *Group) UnmarshalJSON(data []byte) error {
+	var jg jsonGroup
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	schema, err := NewSchema(jg.Attributes...)
+	if err != nil {
+		return err
+	}
+	g.Name = jg.Name
+	g.Schema = schema
+	g.Truth = jg.Truth
+	g.Entities = g.Entities[:0]
+	for _, je := range jg.Entities {
+		e, err := NewEntity(schema, je.ID, je.Values)
+		if err != nil {
+			return err
+		}
+		if err := g.Add(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pair identifies an unordered pair of entities by position within a group.
+type Pair struct {
+	I, J int
+}
+
+// Canonical returns the pair with I < J.
+func (p Pair) Canonical() Pair {
+	if p.I > p.J {
+		return Pair{p.J, p.I}
+	}
+	return p
+}

@@ -1,0 +1,153 @@
+package entity
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestNewSchema(t *testing.T) {
+	s, err := NewSchema("Title", "Authors", "Venue")
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if i, ok := s.Index("Authors"); !ok || i != 1 {
+		t.Fatalf("Index(Authors) = %d, %v", i, ok)
+	}
+	if _, ok := s.Index("Nope"); ok {
+		t.Fatal("Index(Nope) should not exist")
+	}
+	if s.Name(2) != "Venue" {
+		t.Fatalf("Name(2) = %q", s.Name(2))
+	}
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Fatal("empty schema should fail")
+	}
+	if _, err := NewSchema("A", "A"); err == nil {
+		t.Fatal("duplicate attribute should fail")
+	}
+	if _, err := NewSchema("A", ""); err == nil {
+		t.Fatal("empty attribute name should fail")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchema should panic on bad input")
+		}
+	}()
+	MustSchema()
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := MustSchema("X", "Y")
+	b := MustSchema("X", "Y")
+	c := MustSchema("Y", "X")
+	if !a.Equal(b) {
+		t.Fatal("identical schemas should be equal")
+	}
+	if a.Equal(c) {
+		t.Fatal("order matters")
+	}
+	if a.Equal(nil) {
+		t.Fatal("nil should not equal")
+	}
+}
+
+func TestNewEntity(t *testing.T) {
+	s := MustSchema("Title", "Authors")
+	e, err := NewEntity(s, "e1", [][]string{{"Some Title"}, {"A", "B"}})
+	if err != nil {
+		t.Fatalf("NewEntity: %v", err)
+	}
+	if got := e.Joined(1); got != "A B" {
+		t.Fatalf("Joined(1) = %q", got)
+	}
+	if e.Value(5) != nil {
+		t.Fatal("out of range Value should be nil")
+	}
+	if _, err := NewEntity(s, "bad", [][]string{{"x"}}); err == nil {
+		t.Fatal("wrong arity should fail")
+	}
+}
+
+func TestEntityClone(t *testing.T) {
+	s := MustSchema("A")
+	e, _ := NewEntity(s, "e", [][]string{{"v1", "v2"}})
+	c := e.Clone()
+	c.Values[0][0] = "mutated"
+	if e.Values[0][0] != "v1" {
+		t.Fatal("Clone should deep-copy values")
+	}
+}
+
+func TestGroupAddAndTruth(t *testing.T) {
+	s := MustSchema("A")
+	g := NewGroup("g", s)
+	e1, _ := NewEntity(s, "e1", [][]string{{"x"}})
+	e2, _ := NewEntity(s, "e2", [][]string{{"y"}})
+	if err := g.Add(e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(e2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(e1); err == nil {
+		t.Fatal("duplicate ID should fail")
+	}
+	if g.Size() != 2 {
+		t.Fatalf("Size = %d", g.Size())
+	}
+	g.MarkMisCategorized("e2")
+	ids := g.MisCategorizedIDs()
+	if len(ids) != 1 || ids[0] != "e2" {
+		t.Fatalf("MisCategorizedIDs = %v", ids)
+	}
+	if g.ByID("e1") != e1 || g.ByID("zz") != nil {
+		t.Fatal("ByID lookup broken")
+	}
+}
+
+func TestGroupJSONRoundTrip(t *testing.T) {
+	s := MustSchema("Title", "Authors")
+	g := NewGroup("page", s)
+	e, _ := NewEntity(s, "e1", [][]string{{"T"}, {"A", "B"}})
+	g.MustAdd(e)
+	g.MarkMisCategorized("e1")
+
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Group
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Name != "page" || back.Size() != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if !back.Schema.Equal(s) {
+		t.Fatal("schema lost")
+	}
+	if !back.Truth["e1"] {
+		t.Fatal("truth lost")
+	}
+	if back.Entities[0].Joined(1) != "A B" {
+		t.Fatal("values lost")
+	}
+}
+
+func TestPairCanonical(t *testing.T) {
+	if (Pair{3, 1}).Canonical() != (Pair{1, 3}) {
+		t.Fatal("Canonical should order I < J")
+	}
+	if (Pair{1, 3}).Canonical() != (Pair{1, 3}) {
+		t.Fatal("Canonical should keep ordered pairs")
+	}
+}

@@ -1,0 +1,146 @@
+package entity
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadGroupCSV loads a group from CSV. The first row is the header and
+// becomes the schema; the first column is the entity ID unless idColumn
+// names another header. Cells split into multiple values on multiSep (e.g.
+// "a; b; c" with multiSep "; "); an empty multiSep keeps cells single-valued.
+//
+// A trailing boolean column named "mis_categorized" (case-insensitive) is
+// consumed as ground truth instead of becoming an attribute.
+func ReadGroupCSV(r io.Reader, name, idColumn, multiSep string) (*Group, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("entity: reading CSV header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("entity: CSV needs an ID column and at least one attribute")
+	}
+
+	idIdx := 0
+	if idColumn != "" {
+		idIdx = -1
+		for i, h := range header {
+			if h == idColumn {
+				idIdx = i
+				break
+			}
+		}
+		if idIdx < 0 {
+			return nil, fmt.Errorf("entity: CSV has no column %q", idColumn)
+		}
+	}
+	truthIdx := -1
+	var attrs []string
+	attrCols := make([]int, 0, len(header))
+	for i, h := range header {
+		if i == idIdx {
+			continue
+		}
+		if strings.EqualFold(strings.TrimSpace(h), "mis_categorized") {
+			truthIdx = i
+			continue
+		}
+		attrs = append(attrs, h)
+		attrCols = append(attrCols, i)
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("entity: CSV has no attribute columns")
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	g := NewGroup(name, schema)
+
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("entity: CSV line %d: %w", line, err)
+		}
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("entity: CSV line %d has %d fields, header has %d", line, len(row), len(header))
+		}
+		values := make([][]string, len(attrCols))
+		for k, col := range attrCols {
+			cell := row[col]
+			if multiSep != "" && strings.Contains(cell, multiSep) {
+				parts := strings.Split(cell, multiSep)
+				vals := parts[:0]
+				for _, p := range parts {
+					if p = strings.TrimSpace(p); p != "" {
+						vals = append(vals, p)
+					}
+				}
+				values[k] = vals
+			} else if cell == "" {
+				values[k] = nil
+			} else {
+				values[k] = []string{cell}
+			}
+		}
+		e, err := NewEntity(schema, row[idIdx], values)
+		if err != nil {
+			return nil, fmt.Errorf("entity: CSV line %d: %w", line, err)
+		}
+		if err := g.Add(e); err != nil {
+			return nil, fmt.Errorf("entity: CSV line %d: %w", line, err)
+		}
+		if truthIdx >= 0 {
+			switch strings.ToLower(strings.TrimSpace(row[truthIdx])) {
+			case "true", "1", "yes", "y":
+				g.MarkMisCategorized(e.ID)
+			case "", "false", "0", "no", "n":
+			default:
+				return nil, fmt.Errorf("entity: CSV line %d: bad mis_categorized value %q", line, row[truthIdx])
+			}
+		}
+	}
+	return g, nil
+}
+
+// WriteGroups writes groups as JSON lines (one serialized group per line),
+// the corpus format cmd tools exchange.
+func WriteGroups(w io.Writer, groups []*Group) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, g := range groups {
+		if err := enc.Encode(g); err != nil {
+			return fmt.Errorf("entity: encoding group %q: %w", g.Name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadGroups reads a JSON-lines corpus written by WriteGroups. It also
+// accepts a single plain JSON group (non-lines), for convenience.
+func ReadGroups(r io.Reader) ([]*Group, error) {
+	dec := json.NewDecoder(r)
+	var groups []*Group
+	for {
+		g := &Group{}
+		if err := dec.Decode(g); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("entity: decoding corpus: %w", err)
+		}
+		groups = append(groups, g)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("entity: corpus contains no groups")
+	}
+	return groups, nil
+}

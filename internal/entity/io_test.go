@@ -1,0 +1,120 @@
+package entity
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `id,Title,Authors,Venue,mis_categorized
+e1,KATARA,Xu Chu; Nan Tang,SIGMOD,false
+e2,NADEEF,Ihab Ilyas; Nan Tang,VLDB,
+e3,Oil Chemistry,Jianlong Wang; Nan Tang,RSC Advances,true
+`
+
+func TestReadGroupCSV(t *testing.T) {
+	g, err := ReadGroupCSV(strings.NewReader(sampleCSV), "page", "", "; ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 3 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	if !reflect.DeepEqual(g.Schema.Attributes, []string{"Title", "Authors", "Venue"}) {
+		t.Fatalf("schema = %v", g.Schema.Attributes)
+	}
+	e1 := g.ByID("e1")
+	ai, _ := g.Schema.Index("Authors")
+	if !reflect.DeepEqual(e1.Value(ai), []string{"Xu Chu", "Nan Tang"}) {
+		t.Fatalf("authors = %v", e1.Value(ai))
+	}
+	if got := g.MisCategorizedIDs(); !reflect.DeepEqual(got, []string{"e3"}) {
+		t.Fatalf("truth = %v", got)
+	}
+}
+
+func TestReadGroupCSVCustomIDColumn(t *testing.T) {
+	csvData := "Title,key,Tags\nSome Title,k1,a|b\n"
+	g, err := ReadGroupCSV(strings.NewReader(csvData), "g", "key", "|")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Entities[0].ID != "k1" {
+		t.Fatalf("ID = %q", g.Entities[0].ID)
+	}
+	ti, _ := g.Schema.Index("Tags")
+	if !reflect.DeepEqual(g.Entities[0].Value(ti), []string{"a", "b"}) {
+		t.Fatalf("tags = %v", g.Entities[0].Value(ti))
+	}
+}
+
+func TestReadGroupCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, csv, idCol string
+	}{
+		{"no attrs", "id\ne1\n", ""},
+		{"missing id column", "a,b\n1,2\n", "zzz"},
+		{"ragged row", "id,A\ne1,x,extra\n", ""},
+		{"dup id", "id,A\ne1,x\ne1,y\n", ""},
+		{"bad truth", "id,A,mis_categorized\ne1,x,maybe\n", ""},
+		{"empty", "", ""},
+	}
+	for _, c := range cases {
+		if _, err := ReadGroupCSV(strings.NewReader(c.csv), "g", c.idCol, ""); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestGroupsJSONLinesRoundTrip(t *testing.T) {
+	s := MustSchema("A", "B")
+	var groups []*Group
+	for _, name := range []string{"g1", "g2", "g3"} {
+		g := NewGroup(name, s)
+		e, _ := NewEntity(s, name+"-e", [][]string{{"x"}, {"y", "z"}})
+		g.MustAdd(e)
+		g.MarkMisCategorized(e.ID)
+		groups = append(groups, g)
+	}
+	var buf bytes.Buffer
+	if err := WriteGroups(&buf, groups); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGroups(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("groups = %d", len(back))
+	}
+	for i, g := range back {
+		if g.Name != groups[i].Name || g.Size() != 1 {
+			t.Fatalf("group %d: %q size %d", i, g.Name, g.Size())
+		}
+		if !g.Truth[g.Entities[0].ID] {
+			t.Fatalf("group %d lost truth", i)
+		}
+	}
+}
+
+func TestReadGroupsSinglePlainJSON(t *testing.T) {
+	s := MustSchema("A")
+	g := NewGroup("solo", s)
+	e, _ := NewEntity(s, "e", [][]string{{"v"}})
+	g.MustAdd(e)
+	var buf bytes.Buffer
+	if err := WriteGroups(&buf, []*Group{g}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGroups(&buf)
+	if err != nil || len(back) != 1 {
+		t.Fatalf("%v %v", back, err)
+	}
+	if _, err := ReadGroups(strings.NewReader("")); err == nil {
+		t.Fatal("empty corpus should fail")
+	}
+	if _, err := ReadGroups(strings.NewReader("{broken")); err == nil {
+		t.Fatal("broken corpus should fail")
+	}
+}

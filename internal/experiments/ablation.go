@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dime/internal/core"
+	"dime/internal/datagen"
+	"dime/internal/presets"
+)
+
+// Ablation quantifies DIME+'s design choices on one Scholar group: the
+// signature filter, the transitivity skip, the benefit order, and the
+// global-sort cutoff. Each row reports wall-clock time and the number of
+// rule verifications actually performed; results are identical across rows
+// by construction (the equivalence is covered by tests).
+func Ablation(opts Options) ([]Table, error) {
+	opts.defaults()
+	cfg := presets.ScholarConfig()
+	rs := presets.ScholarRules(cfg)
+	size := 600
+	if opts.Full {
+		size = 2000
+	}
+	g := datagen.Scholar(datagen.ScholarOptions{
+		NumPubs:   size,
+		ErrorRate: 0.06,
+		Seed:      opts.Seed + 41,
+	})
+
+	type variant struct {
+		name string
+		opts core.Options
+		run  func(o core.Options) (*core.Result, error)
+	}
+	base := core.Options{Config: cfg, Rules: rs}
+	variants := []variant{
+		{"DIME+ (all optimizations)", base,
+			func(o core.Options) (*core.Result, error) { return core.DIMEPlus(g, o) }},
+		{"no transitivity skip", core.Options{Config: cfg, Rules: rs, DisableTransitivitySkip: true},
+			func(o core.Options) (*core.Result, error) { return core.DIMEPlus(g, o) }},
+		{"no benefit order", core.Options{Config: cfg, Rules: rs, DisableBenefitOrder: true},
+			func(o core.Options) (*core.Result, error) { return core.DIMEPlus(g, o) }},
+		{"forced global sort", core.Options{Config: cfg, Rules: rs, BenefitSortLimit: 1 << 30},
+			func(o core.Options) (*core.Result, error) { return core.DIMEPlus(g, o) }},
+		{"forced streaming", core.Options{Config: cfg, Rules: rs, BenefitSortLimit: 1},
+			func(o core.Options) (*core.Result, error) { return core.DIMEPlus(g, o) }},
+		{"no signatures (naive DIME)", base,
+			func(o core.Options) (*core.Result, error) { return core.DIME(g, o) }},
+	}
+
+	var rows [][]string
+	for _, v := range variants {
+		t0 := time.Now()
+		res, err := v.run(v.opts)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(t0).Seconds()
+		rows = append(rows, []string{
+			v.name,
+			f1s(elapsed),
+			fmt.Sprintf("%d", res.Stats.PositiveVerified),
+			fmt.Sprintf("%d", res.Stats.PositiveSkippedByTransitivity),
+			fmt.Sprintf("%d", res.Stats.NegativeVerified),
+			fmt.Sprintf("%d", len(res.Final())),
+		})
+	}
+	return []Table{{
+		ID:     "Ablation",
+		Title:  fmt.Sprintf("DIME+ design choices on a %d-entity Scholar page", g.Size()),
+		Header: []string{"Variant", "Time(s)", "PosVerified", "SkippedByTrans", "NegVerified", "Found"},
+		Rows:   rows,
+		Notes:  "all variants produce identical discoveries; the columns show the work each optimization saves",
+	}}, nil
+}

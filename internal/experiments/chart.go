@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// FprintChart renders the table's numeric columns as horizontal bar charts,
+// one chart per column, rows as bars — a terminal rendition of the paper's
+// figures. Non-numeric columns are skipped; bars scale to the column
+// maximum. Percent suffixes parse as their numeric value.
+func (t *Table) FprintChart(w io.Writer) {
+	const width = 42
+	fmt.Fprintf(w, "== %s — %s (chart) ==\n", t.ID, t.Title)
+	labelWidth := 0
+	for _, row := range t.Rows {
+		if len(row) > 0 && len(row[0]) > labelWidth {
+			labelWidth = len(row[0])
+		}
+	}
+	for col := 1; col < len(t.Header); col++ {
+		values := make([]float64, len(t.Rows))
+		max := 0.0
+		numeric := len(t.Rows) > 0
+		for i, row := range t.Rows {
+			if col >= len(row) {
+				numeric = false
+				break
+			}
+			v, err := strconv.ParseFloat(strings.TrimSuffix(row[col], "%"), 64)
+			if err != nil || v < 0 {
+				numeric = false
+				break
+			}
+			values[i] = v
+			if v > max {
+				max = v
+			}
+		}
+		if !numeric || max == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s\n", t.Header[col])
+		for i, row := range t.Rows {
+			n := int(values[i] / max * width)
+			fmt.Fprintf(w, "  %-*s %s%s %s\n",
+				labelWidth, row[0],
+				strings.Repeat("█", n), strings.Repeat("·", width-n),
+				row[col])
+		}
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dime/internal/baselines"
+	"dime/internal/baselines/cr"
+	"dime/internal/baselines/svm"
+	"dime/internal/entity"
+	"dime/internal/metrics"
+	"dime/internal/rules"
+)
+
+// Exp1 reproduces Figure 6 (Exp-1 and Exp-2): DIME vs the collective
+// relational EM baseline CR (best of thresholds {0.5, 0.6, 0.7}) and the
+// pairwise-feature linear SVM, on Scholar (fixed dirt) and on Amazon with
+// error rates 10–40%.
+func Exp1(opts Options) ([]Table, error) {
+	opts.defaults()
+	var tables []Table
+
+	// --- Figure 6(a): Scholar ---
+	sc := newScholarSetup(opts)
+	train, test := splitGroups(sc.pages, 4)
+	svmModel, err := trainSVMOn(sc.cfg, train, 229, 201, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dime, crBest, svmScore, err := compareMethods(sc.cfg, sc.rs, scholarCRAttrs, test, svmModel)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, Table{
+		ID:     "Fig 6(a)",
+		Title:  "DIME vs CR vs SVM on Google Scholar (average over pages)",
+		Header: []string{"Method", "Precision", "Recall", "F-measure"},
+		Rows: [][]string{
+			{"DIME", f2(dime.Precision), f2(dime.Recall), f2(dime.F1)},
+			{"CR", f2(crBest.Precision), f2(crBest.Recall), f2(crBest.F1)},
+			{"SVM", f2(svmScore.Precision), f2(svmScore.Recall), f2(svmScore.F1)},
+		},
+		Notes: fmt.Sprintf("%d test pages of ~%d entities; DIME reports the best scrollbar level; CR reports its best termination threshold", len(test), opts.PubsPerPage),
+	})
+
+	// --- Figure 6(b–d): Amazon, error rate sweep ---
+	header := []string{"ErrorRate", "DIME-P", "DIME-R", "DIME-F", "CR-P", "CR-R", "CR-F", "SVM-P", "SVM-R", "SVM-F"}
+	var rows [][]string
+	for _, e := range []float64{0.10, 0.20, 0.30, 0.40} {
+		setup, err := newAmazonSetup(opts, e)
+		if err != nil {
+			return nil, err
+		}
+		trainA, testA := splitGroups(setup.corpus.Groups, 4)
+		svmA, err := trainSVMOn(setup.cfg, trainA, 247, 245, opts.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		d, c, s, err := compareMethods(setup.cfg, setup.rs, amazonCRAttrs, testA, svmA)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", e*100),
+			f2(d.Precision), f2(d.Recall), f2(d.F1),
+			f2(c.Precision), f2(c.Recall), f2(c.F1),
+			f2(s.Precision), f2(s.Recall), f2(s.F1),
+		})
+	}
+	tables = append(tables, Table{
+		ID:     "Fig 6(b-d)",
+		Title:  "Precision / Recall / F-measure vs error rate on Amazon",
+		Header: header,
+		Rows:   rows,
+		Notes:  "description ontology learned with LDA; CR best of thresholds {0.5,0.6,0.7}",
+	})
+	return tables, nil
+}
+
+// splitGroups holds out the first nTrain groups for training.
+func splitGroups(groups []*entity.Group, nTrain int) (train, test []*entity.Group) {
+	if nTrain >= len(groups) {
+		nTrain = len(groups) / 2
+	}
+	if nTrain < 1 {
+		nTrain = 1
+	}
+	return groups[:nTrain], groups[nTrain:]
+}
+
+// trainSVMOn samples example pairs from the training groups and fits the
+// SVM baseline.
+func trainSVMOn(cfg *rules.Config, train []*entity.Group, nPos, nNeg int, seed int64) (*svm.Model, error) {
+	exs, err := pairExamples(cfg, train, nPos, nNeg, seed)
+	if err != nil {
+		return nil, err
+	}
+	return svm.Train(svm.Options{Config: cfg, Seed: seed}, toSVMExamples(exs))
+}
+
+// compareMethods scores DIME (best scrollbar level), CR (best threshold)
+// and the SVM on the test groups, macro-averaged.
+func compareMethods(cfg *rules.Config, rs rules.RuleSet, crAttrs []string, test []*entity.Group, svmModel *svm.Model) (dime, crBest, svmScore metrics.PRF, err error) {
+	var dimeScores, svmScores []metrics.PRF
+	crScores := map[float64][]metrics.PRF{}
+	thresholds := []float64{0.5, 0.6, 0.7}
+	for _, g := range test {
+		truth := g.MisCategorizedIDs()
+		_, best, derr := bestLevelScore(g, cfg, rs)
+		if derr != nil {
+			return dime, crBest, svmScore, derr
+		}
+		dimeScores = append(dimeScores, best)
+
+		for _, th := range thresholds {
+			found, cerr := cr.New(cr.Options{Config: cfg, Threshold: th, Attributes: crAttrs}).Discover(g)
+			if cerr != nil {
+				return dime, crBest, svmScore, cerr
+			}
+			crScores[th] = append(crScores[th], metrics.Score(found, truth))
+		}
+
+		found, serr := svmModel.Discover(g)
+		if serr != nil {
+			return dime, crBest, svmScore, serr
+		}
+		svmScores = append(svmScores, metrics.Score(found, truth))
+	}
+	dime = metrics.Average(dimeScores)
+	for _, th := range thresholds {
+		if avg := metrics.Average(crScores[th]); avg.F1 > crBest.F1 {
+			crBest = avg
+		}
+	}
+	svmScore = metrics.Average(svmScores)
+	return dime, crBest, svmScore, nil
+}
+
+// scholarCRAttrs and amazonCRAttrs are the informative attributes the CR
+// baseline's distance is configured with (an operator-level choice, like its
+// termination thresholds).
+var (
+	scholarCRAttrs = []string{"Title", "Authors", "Venue"}
+	amazonCRAttrs  = []string{"Title", "Also_bought", "Also_viewed", "Bought_together", "Description"}
+)
+
+// Discoverers returns the baselines Exp-1 uses, handy for the CLI.
+var _ = []baselines.Discoverer{(*cr.CR)(nil), (*svm.Model)(nil)}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dime/internal/datagen"
+	"dime/internal/entity"
+	"dime/internal/metrics"
+	"dime/internal/presets"
+)
+
+// Exp3 reproduces Figure 7 (effectiveness of tuning negative rules with the
+// scrollbar): per-negative-rule-prefix precision / recall / F-measure,
+// averaged over Scholar pages and, for Amazon, per error rate.
+func Exp3(opts Options) ([]Table, error) {
+	opts.defaults()
+	var tables []Table
+
+	// --- Figure 7(a): Scholar, three negative rules ---
+	sc := newScholarSetup(opts)
+	nLevels := len(sc.rs.Negative)
+	perLevel := make([][]metrics.PRF, nLevels)
+	for _, g := range sc.pages {
+		levels, _, err := bestLevelScore(g, sc.cfg, sc.rs)
+		if err != nil {
+			return nil, err
+		}
+		for li, s := range levels {
+			perLevel[li] = append(perLevel[li], s)
+		}
+	}
+	rows := make([][]string, nLevels)
+	for li := range rows {
+		avg := metrics.Average(perLevel[li])
+		rows[li] = []string{fmt.Sprintf("NR%d", li+1), f2(avg.Precision), f2(avg.Recall), f2(avg.F1)}
+	}
+	tables = append(tables, Table{
+		ID:     "Fig 7(a)",
+		Title:  "Scrollbar levels on Google Scholar (average over pages)",
+		Header: []string{"Level", "Precision", "Recall", "F-measure"},
+		Rows:   rows,
+		Notes:  fmt.Sprintf("%d pages; NRk applies the disjunction of the first k negative rules", len(sc.pages)),
+	})
+
+	// --- Figure 7(b–d): Amazon, two negative rules, error-rate sweep ---
+	var aRows [][]string
+	for _, e := range []float64{0.10, 0.20, 0.30, 0.40} {
+		setup, err := newAmazonSetup(opts, e)
+		if err != nil {
+			return nil, err
+		}
+		per := make([][]metrics.PRF, len(setup.rs.Negative))
+		for _, g := range setup.corpus.Groups {
+			levels, _, err := bestLevelScore(g, setup.cfg, setup.rs)
+			if err != nil {
+				return nil, err
+			}
+			for li, s := range levels {
+				per[li] = append(per[li], s)
+			}
+		}
+		n1, n2 := metrics.Average(per[0]), metrics.Average(per[1])
+		aRows = append(aRows, []string{
+			fmt.Sprintf("%.0f%%", e*100),
+			f2(n1.Precision), f2(n1.Recall), f2(n1.F1),
+			f2(n2.Precision), f2(n2.Recall), f2(n2.F1),
+		})
+	}
+	tables = append(tables, Table{
+		ID:     "Fig 7(b-d)",
+		Title:  "Scrollbar levels vs error rate on Amazon",
+		Header: []string{"ErrorRate", "NR1-P", "NR1-R", "NR1-F", "NR2-P", "NR2-R", "NR2-F"},
+		Rows:   aRows,
+	})
+	return tables, nil
+}
+
+// fig8Owners are the 20 first names of Figure 8 / Table I.
+var fig8Owners = []string{
+	"Jeffrey", "Wenfei", "Nan", "Cong", "Zhifeng", "Divyakant", "Francesco",
+	"Samuel", "Tamer", "Juliana", "Ullman", "Divesh", "Gustavo", "Jennifer",
+	"Anhai", "Torsten", "Marcelo", "Nikos", "Tim", "Laks",
+}
+
+// fig8Pages generates the 20 named pages with per-page variety: sizes and
+// intruder mixes vary by seed, mirroring the per-page differences Figure 8
+// shows.
+func fig8Pages(opts Options) []*fig8Page {
+	pages := make([]*fig8Page, len(fig8Owners))
+	for i, owner := range fig8Owners {
+		seed := opts.Seed + int64(i)*104729
+		size := 80 + (i*37)%260
+		secondary := -1.0
+		if i%3 == 1 {
+			secondary = 0.04 + float64(i%4)*0.03
+		}
+		g := datagen.Scholar(datagen.ScholarOptions{
+			Owner:         owner + " " + "Author",
+			NumPubs:       size,
+			ErrorRate:     0.03 + float64((i*13)%9)/100,
+			SecondaryRate: secondary,
+			Seed:          seed,
+		})
+		g.Name = owner
+		pages[i] = &fig8Page{owner: owner, group: g}
+	}
+	return pages
+}
+
+type fig8Page struct {
+	owner string
+	group *entity.Group
+}
+
+// Exp3Detail reproduces Figure 8: per-page precision and recall for the
+// three negative-rule levels on the 20 named pages.
+func Exp3Detail(opts Options) ([]Table, error) {
+	opts.defaults()
+	cfg := presets.ScholarConfig()
+	rs := presets.ScholarRules(cfg)
+	var rows [][]string
+	for _, p := range fig8Pages(opts) {
+		levels, _, err := bestLevelScore(p.group, cfg, rs)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{p.owner}
+		for _, s := range levels {
+			row = append(row, f2(s.Precision), f2(s.Recall))
+		}
+		rows = append(rows, row)
+	}
+	return []Table{{
+		ID:     "Fig 8",
+		Title:  "Per-page scrollbar effectiveness (20 Scholar pages)",
+		Header: []string{"Page", "NR1-P", "NR1-R", "NR2-P", "NR2-R", "NR3-P", "NR3-R"},
+		Rows:   rows,
+	}}, nil
+}

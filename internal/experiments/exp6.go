@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dime/internal/baselines/dtree"
+	"dime/internal/baselines/sifi"
+	"dime/internal/metrics"
+	"dime/internal/rulegen"
+	"dime/internal/rules"
+)
+
+// Exp6 reproduces Figure 10 (rule generation quality): k-fold cross
+// validation on the training example pool, comparing the greedy DIME-Rule
+// generator against SIFI (expert structure + threshold search) and a
+// depth-4 DecisionTree. The reported value is the F-measure of classifying
+// held-out example pairs as same-category, for fold counts 2–10, on both
+// datasets.
+func Exp6(opts Options) ([]Table, error) {
+	opts.defaults()
+	var tables []Table
+
+	// --- Figure 10(a): Scholar ---
+	sc := newScholarSetup(opts)
+	exsS, err := pairExamples(sc.cfg, sc.pages[:min(6, len(sc.pages))], 229, 201, opts.Seed+11)
+	if err != nil {
+		return nil, err
+	}
+	authorsIdx, _ := sc.cfg.Schema.Index("Authors")
+	venueIdx, _ := sc.cfg.Schema.Index("Venue")
+	titleIdx, _ := sc.cfg.Schema.Index("Title")
+	scholarStructures := []sifi.Structure{
+		{Predicates: []rules.Predicate{{Attr: authorsIdx, AttrName: "Authors", Fn: rules.Overlap}}},
+		{Predicates: []rules.Predicate{
+			{Attr: authorsIdx, AttrName: "Authors", Fn: rules.Overlap},
+			{Attr: venueIdx, AttrName: "Venue", Fn: rules.Ontology},
+		}},
+		{Predicates: []rules.Predicate{
+			{Attr: authorsIdx, AttrName: "Authors", Fn: rules.Overlap},
+			{Attr: titleIdx, AttrName: "Title", Fn: rules.Jaccard},
+		}},
+	}
+	rowsS, err := crossValidate(sc.cfg, exsS, scholarStructures)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, Table{
+		ID:     "Fig 10(a)",
+		Title:  "Rule-generation F-measure vs #folds on Google Scholar",
+		Header: []string{"#Folds", "DIME-Rule", "SIFI", "DecisionTree"},
+		Rows:   rowsS,
+		Notes:  fmt.Sprintf("%d examples; F over held-out pair classification", len(exsS)),
+	})
+
+	// --- Figure 10(b): Amazon ---
+	setup, err := newAmazonSetup(opts, 0.20)
+	if err != nil {
+		return nil, err
+	}
+	exsA, err := pairExamples(setup.cfg, setup.corpus.Groups[:min(8, len(setup.corpus.Groups))], 247, 245, opts.Seed+13)
+	if err != nil {
+		return nil, err
+	}
+	abIdx, _ := setup.cfg.Schema.Index("Also_bought")
+	avIdx, _ := setup.cfg.Schema.Index("Also_viewed")
+	descIdx, _ := setup.cfg.Schema.Index("Description")
+	amazonStructures := []sifi.Structure{
+		{Predicates: []rules.Predicate{
+			{Attr: abIdx, AttrName: "Also_bought", Fn: rules.Overlap},
+			{Attr: avIdx, AttrName: "Also_viewed", Fn: rules.Overlap},
+		}},
+		{Predicates: []rules.Predicate{
+			{Attr: abIdx, AttrName: "Also_bought", Fn: rules.Overlap},
+			{Attr: descIdx, AttrName: "Description", Fn: rules.Ontology},
+		}},
+	}
+	rowsA, err := crossValidate(setup.cfg, exsA, amazonStructures)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, Table{
+		ID:     "Fig 10(b)",
+		Title:  "Rule-generation F-measure vs #folds on Amazon",
+		Header: []string{"#Folds", "DIME-Rule", "SIFI", "DecisionTree"},
+		Rows:   rowsA,
+		Notes:  fmt.Sprintf("%d examples; description ontology learned with LDA", len(exsA)),
+	})
+	return tables, nil
+}
+
+// crossValidate runs k-fold CV for k in 2..10 over the example pool,
+// evaluating each method's held-out F-measure, averaged over folds.
+func crossValidate(cfg *rules.Config, examples []rulegen.Example, structures []sifi.Structure) ([][]string, error) {
+	// Shuffle deterministically so contiguous folds are class-mixed (the
+	// example pool arrives positives-first).
+	examples = append([]rulegen.Example(nil), examples...)
+	rng := rand.New(rand.NewSource(99))
+	rng.Shuffle(len(examples), func(i, j int) { examples[i], examples[j] = examples[j], examples[i] })
+
+	var rows [][]string
+	for k := 2; k <= 10; k++ {
+		folds, err := metrics.Folds(len(examples), k)
+		if err != nil {
+			return nil, err
+		}
+		var ours, sifis, trees []metrics.PRF
+		for _, fold := range folds {
+			trainIdx, testIdx := metrics.TrainTest(len(examples), fold)
+			train := subset(examples, trainIdx)
+			test := subset(examples, testIdx)
+			if !bothClasses(train) || len(test) == 0 {
+				continue
+			}
+
+			// DIME-Rule (greedy generator).
+			if rs, err := rulegen.Greedy(rulegen.Options{Config: cfg, MaxThresholds: 24}, train, rules.Positive); err == nil {
+				ours = append(ours, classifyF(rs, test))
+			}
+			// SIFI with the expert structures.
+			if rs, err := sifi.Fit(sifi.Options{Config: cfg}, structures, train, rules.Positive); err == nil {
+				sifis = append(sifis, classifyF(rs, test))
+			}
+			// DecisionTree (depth 4, the paper's setting).
+			if tr, err := dtree.Train(dtree.Options{Config: cfg}, toDtreeExamples(train)); err == nil {
+				trees = append(trees, classifyTreeF(tr, test))
+			}
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", k),
+			f2(metrics.Average(ours).F1),
+			f2(metrics.Average(sifis).F1),
+			f2(metrics.Average(trees).F1),
+		})
+	}
+	return rows, nil
+}
+
+// classifyF scores positive-rule classification of held-out pairs: predict
+// Same when any rule matches.
+func classifyF(rs []rules.Rule, test []rulegen.Example) metrics.PRF {
+	var tp, fp, fn int
+	for _, ex := range test {
+		pred := false
+		for _, r := range rs {
+			if r.Eval(ex.A, ex.B) {
+				pred = true
+				break
+			}
+		}
+		switch {
+		case pred && ex.Same:
+			tp++
+		case pred && !ex.Same:
+			fp++
+		case !pred && ex.Same:
+			fn++
+		}
+	}
+	return metrics.FromCounts(tp, fp, fn)
+}
+
+func classifyTreeF(tr *dtree.Tree, test []rulegen.Example) metrics.PRF {
+	var tp, fp, fn int
+	for _, ex := range test {
+		pred := tr.Predict(ex.A, ex.B)
+		switch {
+		case pred && ex.Same:
+			tp++
+		case pred && !ex.Same:
+			fp++
+		case !pred && ex.Same:
+			fn++
+		}
+	}
+	return metrics.FromCounts(tp, fp, fn)
+}
+
+func subset(exs []rulegen.Example, idx []int) []rulegen.Example {
+	out := make([]rulegen.Example, len(idx))
+	for i, j := range idx {
+		out[i] = exs[j]
+	}
+	return out
+}
+
+func bothClasses(exs []rulegen.Example) bool {
+	var pos, neg bool
+	for _, ex := range exs {
+		if ex.Same {
+			pos = true
+		} else {
+			neg = true
+		}
+	}
+	return pos && neg
+}
+
+func toDtreeExamples(exs []rulegen.Example) []dtree.Example {
+	out := make([]dtree.Example, len(exs))
+	for i, ex := range exs {
+		out[i] = dtree.Example{A: ex.A, B: ex.B, Same: ex.Same}
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dime/internal/baselines/svm"
+	"dime/internal/core"
+	"dime/internal/datagen"
+	"dime/internal/entity"
+	"dime/internal/lda"
+	"dime/internal/metrics"
+	"dime/internal/presets"
+	"dime/internal/rulegen"
+	"dime/internal/rules"
+)
+
+// Options scales the experiment suite. The zero value (after defaults) is
+// the "quick" configuration that finishes in minutes; Full reproduces the
+// paper's corpus sizes.
+type Options struct {
+	// Pages is the number of Scholar pages (paper: 200); 0 means 40.
+	Pages int
+	// PubsPerPage is the page size (paper: avg 340); 0 means 150.
+	PubsPerPage int
+	// AmazonPerCategory is the native product count per category; 0 means 60.
+	AmazonPerCategory int
+	// Seed drives all generation.
+	Seed int64
+	// Full switches the efficiency experiments to the paper's sizes
+	// (Scholar to 3000, Amazon to 10000, DBGen to 100k with naive DIME);
+	// off, they run a scaled-down sweep that preserves the comparison.
+	Full bool
+}
+
+func (o *Options) defaults() {
+	if o.Pages == 0 {
+		o.Pages = 40
+	}
+	if o.PubsPerPage == 0 {
+		o.PubsPerPage = 150
+	}
+	if o.AmazonPerCategory == 0 {
+		o.AmazonPerCategory = 60
+	}
+	if o.Seed == 0 {
+		o.Seed = 2018
+	}
+}
+
+// scholarSetup bundles the Scholar corpus with its config and rule set.
+type scholarSetup struct {
+	pages []*entity.Group
+	cfg   *rules.Config
+	rs    rules.RuleSet
+}
+
+func newScholarSetup(opts Options) *scholarSetup {
+	cfg := presets.ScholarConfig()
+	return &scholarSetup{
+		pages: datagen.ScholarPages(opts.Pages, opts.PubsPerPage, 0.06, opts.Seed),
+		cfg:   cfg,
+		rs:    presets.ScholarRules(cfg),
+	}
+}
+
+// amazonSetup bundles an Amazon corpus at one error rate with the learned
+// LDA description hierarchy, the config and the rule set.
+type amazonSetup struct {
+	corpus *datagen.AmazonCorpus
+	cfg    *rules.Config
+	rs     rules.RuleSet
+	hier   *lda.Hierarchy
+}
+
+// newAmazonSetup generates the corpus at the given error rate and learns the
+// description theme hierarchy with LDA (K = number of categories, grouped
+// into the theme count), exactly the substitution the paper describes for
+// attributes without a published ontology.
+func newAmazonSetup(opts Options, errorRate float64) (*amazonSetup, error) {
+	corpus := datagen.Amazon(datagen.AmazonOptions{
+		ProductsPerCategory: opts.AmazonPerCategory,
+		ErrorRate:           errorRate,
+		Seed:                opts.Seed + int64(errorRate*1000),
+	})
+	nCats := len(corpus.Groups)
+	themes := map[string]bool{}
+	for _, t := range corpus.ThemeOf {
+		themes[t] = true
+	}
+	model, err := lda.Train(corpus.Descriptions(), lda.Options{
+		K:          nCats,
+		Alpha:      0.1, // descriptions are single-topic documents
+		Iterations: 150,
+		Seed:       opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training LDA: %w", err)
+	}
+	hier := lda.BuildHierarchy(model, len(themes))
+	cfg := presets.AmazonConfig(hier.Tree, hier.Mapper())
+	return &amazonSetup{
+		corpus: corpus,
+		cfg:    cfg,
+		rs:     presets.AmazonRules(cfg),
+		hier:   hier,
+	}, nil
+}
+
+// bestLevelScore runs DIME+ on a group and returns the per-level scores and
+// the best-F level ("the best result our approach can provide when the user
+// drags the scrollbar", Exp-1).
+func bestLevelScore(g *entity.Group, cfg *rules.Config, rs rules.RuleSet) ([]metrics.PRF, metrics.PRF, error) {
+	res, err := core.DIMEPlus(g, core.Options{Config: cfg, Rules: rs})
+	if err != nil {
+		return nil, metrics.PRF{}, err
+	}
+	truth := g.MisCategorizedIDs()
+	perLevel := make([]metrics.PRF, len(res.Levels))
+	best := metrics.PRF{}
+	for li := range res.Levels {
+		perLevel[li] = metrics.Score(res.MisCategorizedIDs(li), truth)
+		if perLevel[li].F1 > best.F1 {
+			best = perLevel[li]
+		}
+	}
+	return perLevel, best, nil
+}
+
+// pairExamples samples labelled pairs (correct×correct → Same,
+// correct×mis-categorized → not Same) from groups, up to nPos/nNeg of each —
+// the example pools of Section VI-A (229/201 for Scholar, 247/245 Amazon).
+func pairExamples(cfg *rules.Config, groups []*entity.Group, nPos, nNeg int, seed int64) ([]rulegen.Example, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("experiments: no groups to sample examples from")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	posQuota := nPos/len(groups) + 1
+	negQuota := nNeg/len(groups) + 1
+	var pos, neg []rulegen.Example
+	for _, g := range groups {
+		recs, err := cfg.NewRecords(g)
+		if err != nil {
+			return nil, err
+		}
+		var good, bad []*rules.Record
+		for _, r := range recs {
+			if g.Truth[r.Entity.ID] {
+				bad = append(bad, r)
+			} else {
+				good = append(good, r)
+			}
+		}
+		if len(good) >= 2 {
+			for k := 0; k < posQuota && len(pos) < nPos; k++ {
+				i, j := rng.Intn(len(good)), rng.Intn(len(good))
+				if i == j {
+					j = (j + 1) % len(good)
+				}
+				pos = append(pos, rulegen.Example{A: good[i], B: good[j], Same: true})
+			}
+		}
+		if len(good) >= 1 && len(bad) >= 1 {
+			for k := 0; k < negQuota && len(neg) < nNeg; k++ {
+				neg = append(neg, rulegen.Example{
+					A:    good[rng.Intn(len(good))],
+					B:    bad[rng.Intn(len(bad))],
+					Same: false,
+				})
+			}
+		}
+	}
+	if len(pos) == 0 || len(neg) == 0 {
+		return nil, fmt.Errorf("experiments: sampled %d positive and %d negative examples", len(pos), len(neg))
+	}
+	return append(pos, neg...), nil
+}
+
+// toSVMExamples converts rulegen examples for the SVM baseline.
+func toSVMExamples(exs []rulegen.Example) []svm.Example {
+	out := make([]svm.Example, len(exs))
+	for i, ex := range exs {
+		out[i] = svm.Example{A: ex.A, B: ex.B, Same: ex.Same}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+// Package experiments implements Exp-1 through Exp-6 of Section VI: each
+// experiment regenerates the rows/series of one or more of the paper's
+// tables and figures on the synthetic datasets (see DESIGN.md for the
+// substitution map and EXPERIMENTS.md for paper-vs-measured results).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one reproduced artifact (a figure's data series or a table).
+type Table struct {
+	// ID names the paper artifact, e.g. "Fig 6(a)".
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Header holds column names.
+	Header []string
+	// Rows holds the data, already formatted.
+	Rows [][]string
+	// Notes records caveats (scaled sizes, substitutions).
+	Notes string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = pad(c, w)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(w, "note: %s\n", t.Notes)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// f2 formats a float with two decimals.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// f1s formats seconds with adaptive precision.
+func f1s(sec float64) string {
+	switch {
+	case sec < 0.01:
+		return fmt.Sprintf("%.4f", sec)
+	case sec < 1:
+		return fmt.Sprintf("%.3f", sec)
+	default:
+		return fmt.Sprintf("%.1f", sec)
+	}
+}

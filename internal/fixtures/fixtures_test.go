@@ -1,0 +1,46 @@
+package fixtures
+
+import (
+	"testing"
+)
+
+func TestFigure1GroupShape(t *testing.T) {
+	g := Figure1Group()
+	if g.Size() != 6 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	errs := g.MisCategorizedIDs()
+	if len(errs) != 2 || errs[0] != "e4" || errs[1] != "e6" {
+		t.Fatalf("truth = %v", errs)
+	}
+	if g.Schema != ScholarSchema {
+		t.Fatal("schema identity")
+	}
+	// Every entity carries the owner's name or a variant; e4 is the corrupt
+	// one ("NJ Tang").
+	ai, _ := g.Schema.Index("Authors")
+	e4 := g.ByID("e4")
+	hasNJ := false
+	for _, a := range e4.Value(ai) {
+		if a == "NJ Tang" {
+			hasNJ = true
+		}
+		if a == "Nan Tang" {
+			t.Fatal("e4 must not contain the exact owner name")
+		}
+	}
+	if !hasNJ {
+		t.Fatal("e4 should carry the corrupted variant")
+	}
+}
+
+func TestPaperRulesCompile(t *testing.T) {
+	cfg := ScholarConfig()
+	rs := PaperRules(cfg)
+	if err := rs.Validate(ScholarSchema); err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Positive) != 2 || len(rs.Negative) != 3 {
+		t.Fatalf("rule counts: %d/%d", len(rs.Positive), len(rs.Negative))
+	}
+}

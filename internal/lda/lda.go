@@ -1,0 +1,340 @@
+// Package lda implements a collapsed-Gibbs-sampling Latent Dirichlet
+// Allocation topic model. The paper uses LDA to learn a theme hierarchy for
+// attributes without a published ontology (Amazon product descriptions,
+// Section VI-A); this package trains the model and exports the induced
+// hierarchy as an ontology tree plus a node mapper for rule configs.
+//
+// The model is the standard multinomial LDA: K topics, symmetric Dirichlet
+// priors α over document-topic and β over topic-word distributions, trained
+// by collapsed Gibbs sampling. It substitutes for the Gaussian LDA the paper
+// cites; only the induced tree and node assignments are consumed downstream,
+// and the multinomial variant produces the same kind of hierarchy on
+// token data.
+package lda
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dime/internal/ontology"
+	"dime/internal/tokenize"
+)
+
+// Options configures training.
+type Options struct {
+	// K is the number of topics (required, ≥ 2).
+	K int
+	// Alpha is the document-topic Dirichlet prior; 0 means 50/K.
+	Alpha float64
+	// Beta is the topic-word Dirichlet prior; 0 means 0.01.
+	Beta float64
+	// Iterations is the number of Gibbs sweeps; 0 means 200.
+	Iterations int
+	// Seed drives the sampler; runs are deterministic given a seed.
+	Seed int64
+	// SuperTopics optionally groups topics into that many super-topics to
+	// form a three-level hierarchy; 0 disables grouping (two-level tree).
+	SuperTopics int
+}
+
+// Model is a trained LDA model.
+type Model struct {
+	// K is the topic count.
+	K int
+	// Vocab maps token -> word id.
+	Vocab map[string]int
+	// Words is the inverse of Vocab.
+	Words []string
+	// TopicWord[k][w] is the count of word w in topic k.
+	TopicWord [][]int
+	// TopicTotals[k] is the total token count of topic k.
+	TopicTotals []int
+	// DocTopic[d][k] is the count of topic k in document d.
+	DocTopic [][]int
+	// Assignments[d] is the dominant topic of training document d.
+	Assignments []int
+
+	alpha, beta float64
+}
+
+// Train fits LDA to the given documents (each a token list). Empty
+// documents are allowed; they get topic 0.
+func Train(docs [][]string, opts Options) (*Model, error) {
+	if opts.K < 2 {
+		return nil, fmt.Errorf("lda: K must be at least 2, got %d", opts.K)
+	}
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("lda: no documents")
+	}
+	alpha := opts.Alpha
+	if alpha <= 0 {
+		alpha = 50 / float64(opts.K)
+	}
+	beta := opts.Beta
+	if beta <= 0 {
+		beta = 0.01
+	}
+	iters := opts.Iterations
+	if iters <= 0 {
+		iters = 200
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	m := &Model{K: opts.K, Vocab: make(map[string]int), alpha: alpha, beta: beta}
+	corpus := make([][]int, len(docs))
+	for d, doc := range docs {
+		ids := make([]int, 0, len(doc))
+		for _, w := range doc {
+			id, ok := m.Vocab[w]
+			if !ok {
+				id = len(m.Words)
+				m.Vocab[w] = id
+				m.Words = append(m.Words, w)
+			}
+			ids = append(ids, id)
+		}
+		corpus[d] = ids
+	}
+	v := len(m.Words)
+	if v == 0 {
+		return nil, fmt.Errorf("lda: empty vocabulary")
+	}
+
+	m.TopicWord = make([][]int, m.K)
+	for k := range m.TopicWord {
+		m.TopicWord[k] = make([]int, v)
+	}
+	m.TopicTotals = make([]int, m.K)
+	m.DocTopic = make([][]int, len(docs))
+	z := make([][]int, len(docs))
+	for d, doc := range corpus {
+		m.DocTopic[d] = make([]int, m.K)
+		z[d] = make([]int, len(doc))
+		for i, w := range doc {
+			k := rng.Intn(m.K)
+			z[d][i] = k
+			m.DocTopic[d][k]++
+			m.TopicWord[k][w]++
+			m.TopicTotals[k]++
+		}
+	}
+
+	probs := make([]float64, m.K)
+	vBeta := float64(v) * beta
+	for it := 0; it < iters; it++ {
+		for d, doc := range corpus {
+			for i, w := range doc {
+				old := z[d][i]
+				m.DocTopic[d][old]--
+				m.TopicWord[old][w]--
+				m.TopicTotals[old]--
+
+				var total float64
+				for k := 0; k < m.K; k++ {
+					p := (float64(m.DocTopic[d][k]) + alpha) *
+						(float64(m.TopicWord[k][w]) + beta) /
+						(float64(m.TopicTotals[k]) + vBeta)
+					probs[k] = p
+					total += p
+				}
+				u := rng.Float64() * total
+				var k int
+				for k = 0; k < m.K-1; k++ {
+					u -= probs[k]
+					if u <= 0 {
+						break
+					}
+				}
+				z[d][i] = k
+				m.DocTopic[d][k]++
+				m.TopicWord[k][w]++
+				m.TopicTotals[k]++
+			}
+		}
+	}
+
+	m.Assignments = make([]int, len(docs))
+	for d := range corpus {
+		m.Assignments[d] = argmax(m.DocTopic[d])
+	}
+	return m, nil
+}
+
+// Infer returns the most likely topic for an unseen token list by folding it
+// into the trained topic-word counts (one pass, maximum likelihood).
+func (m *Model) Infer(tokens []string) int {
+	scores := make([]float64, m.K)
+	v := float64(len(m.Words)) * m.beta
+	any := false
+	for _, w := range tokens {
+		id, ok := m.Vocab[w]
+		if !ok {
+			continue
+		}
+		any = true
+		for k := 0; k < m.K; k++ {
+			scores[k] += float64(m.TopicWord[k][id]) / (float64(m.TopicTotals[k]) + v)
+		}
+	}
+	if !any {
+		return 0
+	}
+	return argmaxF(scores)
+}
+
+// TopWords returns the n highest-count words of a topic, for inspection.
+func (m *Model) TopWords(k, n int) []string {
+	type wc struct {
+		w string
+		c int
+	}
+	all := make([]wc, 0, len(m.Words))
+	for id, w := range m.Words {
+		if m.TopicWord[k][id] > 0 {
+			all = append(all, wc{w, m.TopicWord[k][id]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].w < all[j].w
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].w
+	}
+	return out
+}
+
+// Hierarchy is the theme hierarchy induced from a trained model: an ontology
+// tree (root → super-topic → topic, or root → topic when grouping is off)
+// and the node each topic maps to.
+type Hierarchy struct {
+	// Tree is the induced ontology.
+	Tree *ontology.Tree
+	// TopicNode[k] is the tree node of topic k.
+	TopicNode []*ontology.Node
+	// Model is the underlying topic model.
+	Model *Model
+}
+
+// BuildHierarchy converts a trained model into a theme hierarchy. With
+// opts.SuperTopics > 0, topics are greedily agglomerated into that many
+// super-topics by topic-word cosine similarity, yielding a three-level tree
+// whose LCA structure mirrors topical relatedness.
+func BuildHierarchy(m *Model, superTopics int) *Hierarchy {
+	tree := ontology.NewTree("Themes")
+	h := &Hierarchy{Tree: tree, Model: m, TopicNode: make([]*ontology.Node, m.K)}
+	if superTopics <= 0 || superTopics >= m.K {
+		for k := 0; k < m.K; k++ {
+			h.TopicNode[k] = tree.AddPath(fmt.Sprintf("topic-%02d", k))
+		}
+		return h
+	}
+	groups := clusterTopics(m, superTopics)
+	for gi, topics := range groups {
+		super := tree.AddPath(fmt.Sprintf("theme-%02d", gi))
+		for _, k := range topics {
+			h.TopicNode[k] = tree.AddChild(super, fmt.Sprintf("topic-%02d", k))
+		}
+	}
+	return h
+}
+
+// Mapper returns a rule-config node mapper that infers the topic of a value
+// list and maps it to the topic's tree node.
+func (h *Hierarchy) Mapper() func(values []string) *ontology.Node {
+	return func(values []string) *ontology.Node {
+		var tokens []string
+		for _, v := range values {
+			tokens = append(tokens, tokenize.Words(v)...)
+		}
+		if len(tokens) == 0 {
+			return nil
+		}
+		return h.TopicNode[h.Model.Infer(tokens)]
+	}
+}
+
+// clusterTopics greedily merges the two most similar topic clusters (by
+// average pairwise topic-word cosine) until `target` clusters remain.
+func clusterTopics(m *Model, target int) [][]int {
+	clusters := make([][]int, m.K)
+	for k := range clusters {
+		clusters[k] = []int{k}
+	}
+	simTable := make([][]float64, m.K)
+	for a := 0; a < m.K; a++ {
+		simTable[a] = make([]float64, m.K)
+		for b := 0; b < m.K; b++ {
+			simTable[a][b] = topicCosine(m, a, b)
+		}
+	}
+	avgSim := func(ca, cb []int) float64 {
+		var s float64
+		for _, a := range ca {
+			for _, b := range cb {
+				s += simTable[a][b]
+			}
+		}
+		return s / float64(len(ca)*len(cb))
+	}
+	for len(clusters) > target {
+		bi, bj, best := 0, 1, -1.0
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if s := avgSim(clusters[i], clusters[j]); s > best {
+					bi, bj, best = i, j, s
+				}
+			}
+		}
+		clusters[bi] = append(clusters[bi], clusters[bj]...)
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+	}
+	for _, c := range clusters {
+		sort.Ints(c)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i][0] < clusters[j][0] })
+	return clusters
+}
+
+// topicCosine is the cosine similarity of two topics' word-count vectors.
+func topicCosine(m *Model, a, b int) float64 {
+	var dot, na, nb float64
+	for w := range m.Words {
+		x, y := float64(m.TopicWord[a][w]), float64(m.TopicWord[b][w])
+		dot += x * y
+		na += x * x
+		nb += y * y
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+func argmax(xs []int) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func argmaxF(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

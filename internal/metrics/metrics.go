@@ -1,0 +1,151 @@
+// Package metrics provides the evaluation machinery of Section VI:
+// precision / recall / F-measure over discovered mis-categorized entity
+// sets, per-group and averaged scores, and k-fold cross-validation splits
+// for the rule-generation experiments.
+package metrics
+
+import (
+	"fmt"
+)
+
+// PRF holds precision, recall and F-measure.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	// TP, FP, FN are the raw counts the scores derive from.
+	TP, FP, FN int
+}
+
+// Score compares a discovered ID set against the ground-truth ID set.
+// Conventions match the paper: precision = |found ∩ truth| / |found| (1 when
+// nothing was found and nothing should be), recall = |found ∩ truth| /
+// |truth| (1 when nothing should be found).
+func Score(found, truth []string) PRF {
+	truthSet := make(map[string]bool, len(truth))
+	for _, id := range truth {
+		truthSet[id] = true
+	}
+	foundSet := make(map[string]bool, len(found))
+	var tp, fp int
+	for _, id := range found {
+		if foundSet[id] {
+			continue
+		}
+		foundSet[id] = true
+		if truthSet[id] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	fn := 0
+	for _, id := range truth {
+		if !foundSet[id] {
+			fn++
+		}
+	}
+	return FromCounts(tp, fp, fn)
+}
+
+// FromCounts builds a PRF from raw true-positive / false-positive /
+// false-negative counts.
+func FromCounts(tp, fp, fn int) PRF {
+	p := PRF{TP: tp, FP: fp, FN: fn}
+	switch {
+	case tp+fp == 0:
+		p.Precision = 1
+	default:
+		p.Precision = float64(tp) / float64(tp+fp)
+	}
+	switch {
+	case tp+fn == 0:
+		p.Recall = 1
+	default:
+		p.Recall = float64(tp) / float64(tp+fn)
+	}
+	if p.Precision+p.Recall > 0 {
+		p.F1 = 2 * p.Precision * p.Recall / (p.Precision + p.Recall)
+	}
+	return p
+}
+
+// String renders "P=0.94 R=0.96 F=0.95".
+func (p PRF) String() string {
+	return fmt.Sprintf("P=%.2f R=%.2f F=%.2f", p.Precision, p.Recall, p.F1)
+}
+
+// Average returns the arithmetic mean of per-group scores (macro averaging,
+// which is what the paper reports across Scholar pages). An empty input
+// yields the zero PRF.
+func Average(scores []PRF) PRF {
+	if len(scores) == 0 {
+		return PRF{}
+	}
+	var out PRF
+	for _, s := range scores {
+		out.Precision += s.Precision
+		out.Recall += s.Recall
+		out.TP += s.TP
+		out.FP += s.FP
+		out.FN += s.FN
+	}
+	n := float64(len(scores))
+	out.Precision /= n
+	out.Recall /= n
+	if out.Precision+out.Recall > 0 {
+		out.F1 = 2 * out.Precision * out.Recall / (out.Precision + out.Recall)
+	}
+	return out
+}
+
+// Micro returns the micro-averaged score: pool all counts, then compute.
+func Micro(scores []PRF) PRF {
+	var tp, fp, fn int
+	for _, s := range scores {
+		tp += s.TP
+		fp += s.FP
+		fn += s.FN
+	}
+	return FromCounts(tp, fp, fn)
+}
+
+// Folds splits n items into k contiguous folds of near-equal size for
+// cross-validation. It returns, for each fold, the held-out index range
+// [start, end). k is clamped to [1, n]; n must be positive.
+func Folds(n, k int) ([][2]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("metrics: cannot fold %d items", n)
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	folds := make([][2]int, 0, k)
+	base, rem := n/k, n%k
+	start := 0
+	for i := 0; i < k; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		folds = append(folds, [2]int{start, start + size})
+		start += size
+	}
+	return folds, nil
+}
+
+// TrainTest materializes the train/test index lists for one fold over n
+// items.
+func TrainTest(n int, fold [2]int) (train, test []int) {
+	for i := 0; i < n; i++ {
+		if i >= fold[0] && i < fold[1] {
+			test = append(test, i)
+		} else {
+			train = append(train, i)
+		}
+	}
+	return train, test
+}

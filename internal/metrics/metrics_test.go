@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestScoreBasic(t *testing.T) {
+	s := Score([]string{"a", "b", "c"}, []string{"b", "c", "d"})
+	if s.TP != 2 || s.FP != 1 || s.FN != 1 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if !almost(s.Precision, 2.0/3) || !almost(s.Recall, 2.0/3) {
+		t.Fatalf("P/R: %+v", s)
+	}
+	if !almost(s.F1, 2.0/3) {
+		t.Fatalf("F1: %v", s.F1)
+	}
+}
+
+func TestScoreEdgeCases(t *testing.T) {
+	if s := Score(nil, nil); s.Precision != 1 || s.Recall != 1 {
+		t.Fatalf("empty/empty: %+v", s)
+	}
+	if s := Score(nil, []string{"x"}); s.Precision != 1 || s.Recall != 0 {
+		t.Fatalf("empty found: %+v", s)
+	}
+	if s := Score([]string{"x"}, nil); s.Precision != 0 || s.Recall != 1 {
+		t.Fatalf("empty truth: %+v", s)
+	}
+	// Duplicates in found count once.
+	if s := Score([]string{"a", "a"}, []string{"a"}); s.TP != 1 || s.FP != 0 {
+		t.Fatalf("dup found: %+v", s)
+	}
+}
+
+func TestFromCounts(t *testing.T) {
+	s := FromCounts(8, 2, 2)
+	if !almost(s.Precision, 0.8) || !almost(s.Recall, 0.8) || !almost(s.F1, 0.8) {
+		t.Fatalf("%+v", s)
+	}
+	if s := FromCounts(0, 0, 0); s.Precision != 1 || s.Recall != 1 {
+		t.Fatalf("zero counts: %+v", s)
+	}
+}
+
+func TestAverageAndMicro(t *testing.T) {
+	a := FromCounts(1, 0, 1) // P=1, R=0.5
+	b := FromCounts(1, 1, 0) // P=0.5, R=1
+	avg := Average([]PRF{a, b})
+	if !almost(avg.Precision, 0.75) || !almost(avg.Recall, 0.75) {
+		t.Fatalf("avg: %+v", avg)
+	}
+	micro := Micro([]PRF{a, b})
+	if micro.TP != 2 || micro.FP != 1 || micro.FN != 1 {
+		t.Fatalf("micro: %+v", micro)
+	}
+	if z := Average(nil); z.Precision != 0 {
+		t.Fatalf("empty average: %+v", z)
+	}
+}
+
+func TestFolds(t *testing.T) {
+	folds, err := Folds(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 3 {
+		t.Fatalf("folds = %v", folds)
+	}
+	total := 0
+	prevEnd := 0
+	for _, f := range folds {
+		if f[0] != prevEnd {
+			t.Fatalf("folds not contiguous: %v", folds)
+		}
+		total += f[1] - f[0]
+		prevEnd = f[1]
+	}
+	if total != 10 {
+		t.Fatalf("folds cover %d of 10", total)
+	}
+	// Sizes differ by at most one.
+	if folds[0][1]-folds[0][0] != 4 {
+		t.Fatalf("first fold size: %v", folds)
+	}
+	if _, err := Folds(0, 3); err == nil {
+		t.Fatal("n=0 should fail")
+	}
+	if f, _ := Folds(3, 10); len(f) != 3 {
+		t.Fatal("k should clamp to n")
+	}
+	if f, _ := Folds(5, 0); len(f) != 1 {
+		t.Fatal("k<1 should clamp to 1")
+	}
+}
+
+func TestTrainTest(t *testing.T) {
+	train, test := TrainTest(5, [2]int{1, 3})
+	if len(train) != 3 || len(test) != 2 {
+		t.Fatalf("train=%v test=%v", train, test)
+	}
+	if test[0] != 1 || test[1] != 2 {
+		t.Fatalf("test = %v", test)
+	}
+	if train[0] != 0 || train[1] != 3 || train[2] != 4 {
+		t.Fatalf("train = %v", train)
+	}
+}
+
+func TestPRFString(t *testing.T) {
+	s := FromCounts(1, 1, 1)
+	if got := s.String(); got != "P=0.50 R=0.50 F=0.50" {
+		t.Fatalf("String = %q", got)
+	}
+}

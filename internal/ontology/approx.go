@@ -1,0 +1,126 @@
+package ontology
+
+import "dime/internal/sim"
+
+// LookupApprox maps a value to a tree node tolerating spelling variation —
+// the approximate matching the paper's footnote 2 sketches for entities
+// whose values do not exactly match a node label ("Intl. Conf. on Very
+// Large Data Bases" vs "VLDB" style noise is still out of scope; this
+// handles typos and truncations).
+//
+// Matching proceeds in three stages, cheapest first:
+//
+//  1. exact normalized lookup;
+//  2. token containment: a unique node whose normalized label's word set
+//     contains (or is contained in) the value's word set;
+//  3. edit similarity: the node whose normalized label has the highest
+//     normalized edit similarity to the value, if it reaches minSim.
+//
+// It returns nil when nothing reaches minSim or the match is ambiguous.
+func (t *Tree) LookupApprox(value string, minSim float64) *Node {
+	if n := t.Lookup(value); n != nil {
+		return n
+	}
+	norm := Normalize(value)
+	if norm == "" {
+		return nil
+	}
+
+	// Stage 2: unique token-containment match. The root is excluded from
+	// the approximate stages: its label names the ontology itself ("Venue",
+	// "Products"), and matching it would map generic values to a node that
+	// is maximally similar to everything.
+	valueTokens := tokensOf(norm)
+	var contained *Node
+	count := 0
+	for _, n := range t.nodes {
+		if n == t.root {
+			continue
+		}
+		labelTokens := tokensOf(Normalize(n.Label))
+		if len(labelTokens) == 0 {
+			continue
+		}
+		if containsAll(valueTokens, labelTokens) || containsAll(labelTokens, valueTokens) {
+			contained = n
+			count++
+			if count > 1 {
+				break
+			}
+		}
+	}
+	if count == 1 {
+		return contained
+	}
+
+	// Stage 3: best edit similarity above the floor.
+	if minSim <= 0 {
+		minSim = 0.8
+	}
+	var best *Node
+	bestSim := minSim
+	for _, n := range t.nodes {
+		if n == t.root {
+			continue
+		}
+		s := sim.EditSimilarity(norm, Normalize(n.Label))
+		if s > bestSim {
+			best, bestSim = n, s
+		} else if s == bestSim && best != nil && n.String() < best.String() {
+			best = n
+		}
+	}
+	return best
+}
+
+// ApproxMapper returns a node mapper backed by LookupApprox, usable as a
+// rules.Config mapper for attributes with noisy values.
+func (t *Tree) ApproxMapper(minSim float64) func(values []string) *Node {
+	return func(values []string) *Node {
+		for _, v := range values {
+			if n := t.LookupApprox(v, minSim); n != nil {
+				return n
+			}
+		}
+		return nil
+	}
+}
+
+func tokensOf(normalized string) []string {
+	var out []string
+	start := -1
+	for i, r := range normalized {
+		if r == ' ' {
+			if start >= 0 {
+				out = append(out, normalized[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, normalized[start:])
+	}
+	return out
+}
+
+// containsAll reports whether every token of sub occurs in super.
+func containsAll(super, sub []string) bool {
+	if len(sub) == 0 || len(sub) > len(super) {
+		return false
+	}
+	for _, s := range sub {
+		found := false
+		for _, t := range super {
+			if s == t {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+package ontology
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestLookupApproxExact(t *testing.T) {
+	tr := VenueTree()
+	if tr.LookupApprox("SIGMOD", 0.8) != tr.Lookup("SIGMOD") {
+		t.Fatal("exact match should short-circuit")
+	}
+	if tr.LookupApprox("  sigmod ", 0.8) != tr.Lookup("SIGMOD") {
+		t.Fatal("normalization should apply")
+	}
+}
+
+func TestLookupApproxTypos(t *testing.T) {
+	tr := VenueTree()
+	cases := map[string]string{
+		"SIGMD":        "SIGMOD",       // deletion
+		"VLDBB":        "VLDB",         // insertion
+		"RSC Advnaces": "RSC Advances", // transposed letters (2 edits of 12)
+	}
+	for in, want := range cases {
+		got := tr.LookupApprox(in, 0.7)
+		if got == nil || got.Label != want {
+			t.Errorf("LookupApprox(%q) = %v, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLookupApproxContainment(t *testing.T) {
+	tr := VenueTree()
+	// "journal rsc advances 2011" contains the full label "rsc advances".
+	got := tr.LookupApprox("Journal RSC Advances 2011", 0.8)
+	if got == nil || got.Label != "RSC Advances" {
+		t.Fatalf("containment lookup = %v", got)
+	}
+}
+
+func TestLookupApproxRejectsGarbage(t *testing.T) {
+	tr := VenueTree()
+	if got := tr.LookupApprox("zzzz qqqq completely unrelated", 0.8); got != nil {
+		t.Fatalf("garbage matched %v", got)
+	}
+	if tr.LookupApprox("", 0.8) != nil {
+		t.Fatal("empty value should not match")
+	}
+}
+
+func TestLookupApproxAmbiguousContainment(t *testing.T) {
+	tr := NewTree("R")
+	tr.AddPath("Alpha Beta")
+	tr.AddPath("Alpha Gamma")
+	// "alpha" is contained in both labels... containment requires the LABEL
+	// tokens within the value (or vice versa); "alpha" ⊂ both labels is
+	// value-in-label on two nodes → ambiguous → fall through to edit
+	// similarity, which cannot reach 0.9 → nil.
+	if got := tr.LookupApprox("Alpha", 0.9); got != nil {
+		t.Fatalf("ambiguous lookup should fail, got %v", got)
+	}
+}
+
+func TestApproxMapper(t *testing.T) {
+	tr := VenueTree()
+	m := tr.ApproxMapper(0.7)
+	if n := m([]string{"SIGMD"}); n == nil || n.Label != "SIGMOD" {
+		t.Fatalf("mapper = %v", n)
+	}
+	if m(nil) != nil {
+		t.Fatal("empty values map to nil")
+	}
+	if m([]string{"utterly unknown venue xyz"}) != nil {
+		t.Fatal("unknown should map to nil")
+	}
+}
+
+func TestTreeJSONRoundTrip(t *testing.T) {
+	tr := VenueTree()
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTree(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != tr.Size() {
+		t.Fatalf("size %d != %d", back.Size(), tr.Size())
+	}
+	// Similarities must survive the round trip.
+	if got := back.ValueSimilarity("SIGMOD", "VLDB"); got != 0.75 {
+		t.Fatalf("sim after round trip = %v", got)
+	}
+	if got := back.ValueSimilarity("SIGMOD", "RSC Advances"); got != 0.25 {
+		t.Fatalf("cross-field sim after round trip = %v", got)
+	}
+}
+
+func TestLoadTreeHandWritten(t *testing.T) {
+	data := []byte(`{
+		"label": "Products",
+		"children": [
+			{"label": "Electronics", "children": [
+				{"label": "Router"}, {"label": "Adapter"}
+			]},
+			{"label": "Beauty", "children": [{"label": "Shampoo"}]}
+		]
+	}`)
+	tr, err := LoadTree(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Lookup("Router") == nil || tr.Lookup("Router").Depth != 3 {
+		t.Fatalf("hand-written tree lookup broken: %v", tr.Lookup("Router"))
+	}
+	if got := tr.ValueSimilarity("Router", "Adapter"); got != 2.0/3 {
+		t.Fatalf("sibling sim = %v", got)
+	}
+}
+
+func TestLoadTreeErrors(t *testing.T) {
+	if _, err := LoadTree([]byte(`{"label": ""}`)); err == nil {
+		t.Fatal("empty root label should fail")
+	}
+	if _, err := LoadTree([]byte(`{"label": "R", "children": [{"label": ""}]}`)); err == nil {
+		t.Fatal("empty child label should fail")
+	}
+	if _, err := LoadTree([]byte(`not json`)); err == nil {
+		t.Fatal("bad json should fail")
+	}
+}

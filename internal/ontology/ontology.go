@@ -1,0 +1,276 @@
+// Package ontology models the tree-structured ontologies DIME uses for
+// semantics-aware similarity (Section II of the paper), such as the Google
+// Scholar Metrics venue hierarchy. It provides:
+//
+//   - the ontology similarity 2·|LCA(n,n')| / (|n| + |n'|), where |n| is the
+//     depth of node n and the root has depth 1;
+//   - the τ-ancestor signatures of Section IV-B (Lemmas 4.1 and 4.2) used by
+//     the signature-based algorithm DIME+;
+//   - mapping from attribute values to tree nodes, exact or normalized.
+package ontology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Node is a single ontology tree node. Depth of the root is 1, matching the
+// paper's definition.
+type Node struct {
+	// Label is the node's name (e.g. "Database" or "SIGMOD").
+	Label string
+	// Depth is the node depth; the root has depth 1.
+	Depth int
+
+	parent   *Node
+	children []*Node
+	// ancestors[d-1] is the ancestor at depth d (ancestors[Depth-1] == the
+	// node itself), enabling O(1) τ-ancestor lookup.
+	ancestors []*Node
+}
+
+// Parent returns the node's parent (nil for the root).
+func (n *Node) Parent() *Node { return n.parent }
+
+// Children returns the node's children in insertion order.
+func (n *Node) Children() []*Node { return n.children }
+
+// AncestorAt returns the ancestor of n at the given depth (1 = root). It
+// returns nil when depth is out of range (< 1 or > n.Depth).
+func (n *Node) AncestorAt(depth int) *Node {
+	if depth < 1 || depth > n.Depth {
+		return nil
+	}
+	return n.ancestors[depth-1]
+}
+
+// Path returns the labels from the root down to n.
+func (n *Node) Path() []string {
+	labels := make([]string, n.Depth)
+	for i, a := range n.ancestors {
+		labels[i] = a.Label
+	}
+	return labels
+}
+
+// String renders the node as its root-to-node path.
+func (n *Node) String() string { return strings.Join(n.Path(), "/") }
+
+// Tree is an ontology tree with label-based node lookup. Labels are
+// normalized (lower-cased, space-collapsed) for lookup; the first node
+// registered under a normalized label wins, matching the paper's exact-match
+// mapping with a tolerant twist for case and spacing.
+type Tree struct {
+	root   *Node
+	byName map[string]*Node
+	nodes  []*Node
+}
+
+// NewTree creates a tree with a root node labelled rootLabel (depth 1).
+func NewTree(rootLabel string) *Tree {
+	root := &Node{Label: rootLabel, Depth: 1}
+	root.ancestors = []*Node{root}
+	t := &Tree{root: root, byName: make(map[string]*Node)}
+	t.register(root)
+	return t
+}
+
+// Root returns the tree root.
+func (t *Tree) Root() *Node { return t.root }
+
+// Size returns the number of nodes in the tree.
+func (t *Tree) Size() int { return len(t.nodes) }
+
+// Nodes returns all nodes in registration order.
+func (t *Tree) Nodes() []*Node { return t.nodes }
+
+// AddChild adds a child labelled label under parent and returns it. Adding
+// the same label twice under any parent keeps both nodes but only the first
+// is reachable via Lookup.
+func (t *Tree) AddChild(parent *Node, label string) *Node {
+	n := &Node{Label: label, Depth: parent.Depth + 1, parent: parent}
+	n.ancestors = make([]*Node, parent.Depth+1)
+	copy(n.ancestors, parent.ancestors)
+	n.ancestors[parent.Depth] = n
+	parent.children = append(parent.children, n)
+	t.register(n)
+	return n
+}
+
+// AddPath ensures the chain of labels exists under the root and returns the
+// final node. Intermediate nodes are created as needed and matched by exact
+// label among the current node's children.
+func (t *Tree) AddPath(labels ...string) *Node {
+	cur := t.root
+outer:
+	for _, label := range labels {
+		for _, c := range cur.children {
+			if c.Label == label {
+				cur = c
+				continue outer
+			}
+		}
+		cur = t.AddChild(cur, label)
+	}
+	return cur
+}
+
+func (t *Tree) register(n *Node) {
+	t.nodes = append(t.nodes, n)
+	key := Normalize(n.Label)
+	if _, exists := t.byName[key]; !exists {
+		t.byName[key] = n
+	}
+}
+
+// Normalize lower-cases a label and collapses internal whitespace, the
+// canonical form used for node lookup.
+func Normalize(label string) string {
+	return strings.Join(strings.Fields(strings.ToLower(label)), " ")
+}
+
+// Lookup maps an attribute value to its tree node, or nil when the value has
+// no node. Matching is by normalized label.
+func (t *Tree) Lookup(value string) *Node {
+	return t.byName[Normalize(value)]
+}
+
+// LCA returns the lowest common ancestor of a and b. Both nodes must belong
+// to this tree (behaviour is undefined otherwise, as for any forest mixing).
+func (t *Tree) LCA(a, b *Node) *Node {
+	if a == nil || b == nil {
+		return nil
+	}
+	d := a.Depth
+	if b.Depth < d {
+		d = b.Depth
+	}
+	for depth := d; depth >= 1; depth-- {
+		if a.ancestors[depth-1] == b.ancestors[depth-1] {
+			return a.ancestors[depth-1]
+		}
+	}
+	return t.root
+}
+
+// Similarity returns the ontology similarity 2|LCA| / (|a| + |b|) of two
+// nodes, in (0, 1]. Nil nodes have similarity 0 (no mapping means no semantic
+// evidence).
+func (t *Tree) Similarity(a, b *Node) float64 {
+	if a == nil || b == nil {
+		return 0
+	}
+	lca := t.LCA(a, b)
+	return 2 * float64(lca.Depth) / float64(a.Depth+b.Depth)
+}
+
+// ValueSimilarity maps two attribute values to nodes and returns their
+// ontology similarity; unmapped values yield 0.
+func (t *Tree) ValueSimilarity(a, b string) float64 {
+	return t.Similarity(t.Lookup(a), t.Lookup(b))
+}
+
+// Tau returns τ_n = ⌈θ·|n| / (2−θ)⌉, the depth of the signature ancestor for
+// similarity threshold θ (Section IV-B). θ must be in (0, 2); values ≥ 1 are
+// legal and simply demand deeper ancestors.
+func Tau(depth int, theta float64) int {
+	if theta <= 0 {
+		return 1
+	}
+	tau := int(math.Ceil(theta * float64(depth) / (2 - theta)))
+	if tau < 1 {
+		tau = 1
+	}
+	if tau > depth {
+		tau = depth
+	}
+	return tau
+}
+
+// SignatureAncestor returns A_{τ_n}, the ancestor of n at depth τ_n for
+// threshold θ. For a nil node it returns nil.
+func SignatureAncestor(n *Node, theta float64) *Node {
+	if n == nil {
+		return nil
+	}
+	return n.AncestorAt(Tau(n.Depth, theta))
+}
+
+// TauMin returns the minimum τ depth across a set of nodes — the global
+// signature depth of Lemma 4.2. An empty or all-nil set yields 1.
+func TauMin(nodes []*Node, theta float64) int {
+	tmin := math.MaxInt32
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		if tau := Tau(n.Depth, theta); tau < tmin {
+			tmin = tau
+		}
+	}
+	if tmin == math.MaxInt32 {
+		return 1
+	}
+	return tmin
+}
+
+// NodeSignature returns the ancestor of n at depth min(τ_n, tauMin): nodes
+// shallower than tauMin sign with their τ ancestor (which is themselves at
+// worst), others with their tauMin ancestor. By Lemma 4.2, two nodes with
+// similarity ≥ θ share the same node signature when tauMin is the global
+// minimum τ.
+func NodeSignature(n *Node, theta float64, tauMin int) *Node {
+	if n == nil {
+		return nil
+	}
+	d := Tau(n.Depth, theta)
+	if tauMin < d {
+		d = tauMin
+	}
+	return n.AncestorAt(d)
+}
+
+// Validate checks structural invariants (depths, ancestor chains, parent
+// links) and returns the first violation found, or nil.
+func (t *Tree) Validate() error {
+	for _, n := range t.nodes {
+		if n == t.root {
+			if n.Depth != 1 || n.parent != nil {
+				return fmt.Errorf("ontology: bad root invariants")
+			}
+			continue
+		}
+		if n.parent == nil {
+			return fmt.Errorf("ontology: non-root node %q has no parent", n.Label)
+		}
+		if n.Depth != n.parent.Depth+1 {
+			return fmt.Errorf("ontology: node %q depth %d, parent depth %d", n.Label, n.Depth, n.parent.Depth)
+		}
+		if len(n.ancestors) != n.Depth {
+			return fmt.Errorf("ontology: node %q ancestor chain length %d != depth %d", n.Label, len(n.ancestors), n.Depth)
+		}
+		if n.ancestors[n.Depth-1] != n || n.ancestors[0] != t.root {
+			return fmt.Errorf("ontology: node %q ancestor chain endpoints wrong", n.Label)
+		}
+		for d := 1; d < n.Depth; d++ {
+			if n.ancestors[d-1] != n.parent.ancestors[d-1] {
+				return fmt.Errorf("ontology: node %q ancestor chain diverges from parent at depth %d", n.Label, d)
+			}
+		}
+	}
+	return nil
+}
+
+// Leaves returns all leaf nodes sorted by path, useful for generators.
+func (t *Tree) Leaves() []*Node {
+	var leaves []*Node
+	for _, n := range t.nodes {
+		if len(n.children) == 0 {
+			leaves = append(leaves, n)
+		}
+	}
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].String() < leaves[j].String() })
+	return leaves
+}

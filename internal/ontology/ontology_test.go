@@ -1,0 +1,219 @@
+package ontology
+
+import (
+	"math"
+	"testing"
+)
+
+// paperTree builds the fragment of Figure 4 used by the paper's examples.
+func paperTree() *Tree {
+	t := NewTree("Venue")
+	t.AddPath("Computer Science", "Database", "SIGMOD")
+	t.AddPath("Computer Science", "Database", "VLDB")
+	t.AddPath("Computer Science", "System", "ICPADS")
+	t.AddPath("Chemical Sciences", "Chemical Sciences (general)", "RSC Advances")
+	return t
+}
+
+func TestTreeStructure(t *testing.T) {
+	tr := paperTree()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	sig := tr.Lookup("SIGMOD")
+	if sig == nil || sig.Depth != 4 {
+		t.Fatalf("SIGMOD lookup: %v", sig)
+	}
+	if sig.String() != "Venue/Computer Science/Database/SIGMOD" {
+		t.Fatalf("path = %q", sig.String())
+	}
+	if tr.Lookup("sigmod") != sig {
+		t.Fatal("lookup should be case-insensitive")
+	}
+	if tr.Lookup("unknown venue") != nil {
+		t.Fatal("unknown lookup should be nil")
+	}
+	if tr.Root().Depth != 1 {
+		t.Fatal("root depth must be 1")
+	}
+}
+
+func TestAddPathReusesNodes(t *testing.T) {
+	tr := NewTree("R")
+	a := tr.AddPath("X", "Y")
+	b := tr.AddPath("X", "Y")
+	if a != b {
+		t.Fatal("AddPath should reuse existing chains")
+	}
+	if tr.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", tr.Size())
+	}
+}
+
+func TestLCA(t *testing.T) {
+	tr := paperTree()
+	sigmod, vldb := tr.Lookup("SIGMOD"), tr.Lookup("VLDB")
+	icpads := tr.Lookup("ICPADS")
+	rsc := tr.Lookup("RSC Advances")
+
+	if lca := tr.LCA(sigmod, vldb); lca.Label != "Database" {
+		t.Fatalf("LCA(SIGMOD, VLDB) = %q", lca.Label)
+	}
+	if lca := tr.LCA(sigmod, icpads); lca.Label != "Computer Science" {
+		t.Fatalf("LCA(SIGMOD, ICPADS) = %q", lca.Label)
+	}
+	if lca := tr.LCA(sigmod, rsc); lca != tr.Root() {
+		t.Fatalf("LCA across fields should be root, got %q", lca.Label)
+	}
+	if lca := tr.LCA(sigmod, sigmod); lca != sigmod {
+		t.Fatal("LCA(n, n) = n")
+	}
+	db := sigmod.Parent()
+	if lca := tr.LCA(sigmod, db); lca != db {
+		t.Fatal("LCA(node, ancestor) = ancestor")
+	}
+	if tr.LCA(nil, sigmod) != nil {
+		t.Fatal("nil LCA")
+	}
+}
+
+// TestSimilarityPaperExample checks Example 4: sim(SIGMOD, VLDB) = 3/4.
+func TestSimilarityPaperExample(t *testing.T) {
+	tr := paperTree()
+	got := tr.ValueSimilarity("SIGMOD", "VLDB")
+	if math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("sim(SIGMOD, VLDB) = %v, want 0.75", got)
+	}
+	if got := tr.ValueSimilarity("SIGMOD", "RSC Advances"); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("sim(SIGMOD, RSC Advances) = %v, want 0.25", got)
+	}
+	if got := tr.ValueSimilarity("SIGMOD", "SIGMOD"); got != 1 {
+		t.Fatalf("self similarity = %v", got)
+	}
+	if got := tr.ValueSimilarity("SIGMOD", "not-a-venue"); got != 0 {
+		t.Fatalf("unmapped similarity = %v", got)
+	}
+}
+
+// TestTauPaperExample checks Example 6: θ = 0.75 gives τ = 2, 2, 3 for
+// Computer Science, Database, VLDB.
+func TestTauPaperExample(t *testing.T) {
+	if got := Tau(2, 0.75); got != 2 {
+		t.Fatalf("Tau(2, .75) = %d, want 2", got)
+	}
+	if got := Tau(3, 0.75); got != 2 {
+		t.Fatalf("Tau(3, .75) = %d, want 2", got)
+	}
+	if got := Tau(4, 0.75); got != 3 {
+		t.Fatalf("Tau(4, .75) = %d, want 3", got)
+	}
+	if got := Tau(5, 0); got != 1 {
+		t.Fatalf("Tau(θ=0) = %d, want 1", got)
+	}
+	if got := Tau(3, 1.9); got != 3 {
+		t.Fatalf("Tau should clamp to depth, got %d", got)
+	}
+}
+
+// TestNodeSignaturePaperExample checks Example 6's node signatures: with
+// θ = 0.75 over {Computer Science, Database, VLDB}, all node signatures are
+// Computer Science (τ_min = 2).
+func TestNodeSignaturePaperExample(t *testing.T) {
+	tr := paperTree()
+	cs := tr.Lookup("Computer Science")
+	db := tr.Lookup("Database")
+	vldb := tr.Lookup("VLDB")
+
+	if got := SignatureAncestor(cs, 0.75); got != cs {
+		t.Fatalf("sig(CS) = %v", got)
+	}
+	if got := SignatureAncestor(db, 0.75); got != cs {
+		t.Fatalf("sig(Database) = %v", got)
+	}
+	if got := SignatureAncestor(vldb, 0.75); got != db {
+		t.Fatalf("sig(VLDB) = %v", got)
+	}
+
+	nodes := []*Node{cs, db, vldb}
+	tmin := TauMin(nodes, 0.75)
+	if tmin != 2 {
+		t.Fatalf("TauMin = %d, want 2", tmin)
+	}
+	for _, n := range nodes {
+		if got := NodeSignature(n, 0.75, tmin); got != cs {
+			t.Fatalf("NodeSignature(%s) = %v, want Computer Science", n.Label, got)
+		}
+	}
+	if NodeSignature(nil, 0.75, tmin) != nil {
+		t.Fatal("nil node signature")
+	}
+	if TauMin(nil, 0.75) != 1 {
+		t.Fatal("TauMin of empty set should be 1")
+	}
+}
+
+// Property (Lemma 4.2): for every node pair in the tree and every θ, if
+// sim(a, b) ≥ θ then their node signatures at the global τ_min agree.
+func TestNodeSignatureLemma(t *testing.T) {
+	tr := VenueTree()
+	nodes := tr.Nodes()
+	for _, theta := range []float64{0.25, 0.5, 0.75, 0.9} {
+		tmin := TauMin(nodes, theta)
+		for _, a := range nodes {
+			for _, b := range nodes {
+				if tr.Similarity(a, b) >= theta {
+					sa := NodeSignature(a, theta, tmin)
+					sb := NodeSignature(b, theta, tmin)
+					if sa != sb {
+						t.Fatalf("θ=%v: sim(%s,%s)=%v ≥ θ but signatures differ (%v vs %v)",
+							theta, a, b, tr.Similarity(a, b), sa, sb)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestVenueTreeShape(t *testing.T) {
+	tr := VenueTree()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for _, leaf := range tr.Leaves() {
+		if leaf.Depth != 4 {
+			t.Fatalf("venue %q at depth %d, want 4", leaf.Label, leaf.Depth)
+		}
+	}
+	if got := tr.ValueSimilarity("SIGMOD", "VLDB"); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("builtin tree: sim(SIGMOD, VLDB) = %v", got)
+	}
+	if got := tr.ValueSimilarity("SIGMOD", "RSC Advances"); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("builtin tree: sim(SIGMOD, RSC Advances) = %v", got)
+	}
+	if tr.Lookup("ICPADS") == nil || tr.Lookup("SIGIR") == nil {
+		t.Fatal("expected venues missing from builtin tree")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if Normalize("  RSC   Advances ") != "rsc advances" {
+		t.Fatalf("Normalize = %q", Normalize("  RSC   Advances "))
+	}
+}
+
+func TestSimilaritySymmetricBounded(t *testing.T) {
+	tr := VenueTree()
+	nodes := tr.Nodes()
+	for i := 0; i < len(nodes); i += 3 {
+		for j := 0; j < len(nodes); j += 5 {
+			a, b := nodes[i], nodes[j]
+			s1, s2 := tr.Similarity(a, b), tr.Similarity(b, a)
+			if s1 != s2 {
+				t.Fatalf("asymmetric similarity %v vs %v", s1, s2)
+			}
+			if s1 <= 0 || s1 > 1 {
+				t.Fatalf("similarity out of range: %v", s1)
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package ontology
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonNode is the serialized form of a subtree.
+type jsonNode struct {
+	Label    string     `json:"label"`
+	Children []jsonNode `json:"children,omitempty"`
+}
+
+// MarshalJSON serializes the tree as nested {label, children} objects, a
+// format easy to author by hand for custom ontologies.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	var conv func(n *Node) jsonNode
+	conv = func(n *Node) jsonNode {
+		jn := jsonNode{Label: n.Label}
+		for _, c := range n.children {
+			jn.Children = append(jn.Children, conv(c))
+		}
+		return jn
+	}
+	return json.Marshal(conv(t.root))
+}
+
+// UnmarshalJSON restores a tree serialized by MarshalJSON (or hand-written
+// in the same nested format).
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var root jsonNode
+	if err := json.Unmarshal(data, &root); err != nil {
+		return err
+	}
+	if root.Label == "" {
+		return fmt.Errorf("ontology: root node needs a label")
+	}
+	fresh := NewTree(root.Label)
+	var build func(parent *Node, children []jsonNode) error
+	build = func(parent *Node, children []jsonNode) error {
+		for _, c := range children {
+			if c.Label == "" {
+				return fmt.Errorf("ontology: child of %q has empty label", parent.Label)
+			}
+			n := fresh.AddChild(parent, c.Label)
+			if err := build(n, c.Children); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := build(fresh.root, root.Children); err != nil {
+		return err
+	}
+	*t = *fresh
+	return nil
+}
+
+// LoadTree parses a tree from its JSON form.
+func LoadTree(data []byte) (*Tree, error) {
+	t := &Tree{}
+	if err := json.Unmarshal(data, t); err != nil {
+		return nil, fmt.Errorf("ontology: %w", err)
+	}
+	return t, nil
+}

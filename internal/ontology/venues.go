@@ -1,0 +1,108 @@
+package ontology
+
+import "sort"
+
+// VenueTree builds the built-in publication-venue ontology modelled after
+// Google Scholar Metrics (Figure 4 in the paper): root → field → subfield →
+// venue, so venues sit at depth 4. It substitutes for the live Scholar
+// Metrics hierarchy the paper crawled; the tree shape and the similarity
+// values of the paper's worked examples are preserved (e.g. SIGMOD vs VLDB =
+// 2·3/(4+4) = 0.75, SIGMOD vs RSC Advances = 2·1/8 = 0.25).
+func VenueTree() *Tree {
+	t := NewTree("Venue")
+	fields := make([]string, 0, len(venueCatalog))
+	for field := range venueCatalog {
+		fields = append(fields, field)
+	}
+	sort.Strings(fields)
+	for _, field := range fields {
+		f := t.AddPath(field)
+		subfields := venueCatalog[field]
+		subs := make([]string, 0, len(subfields))
+		for sub := range subfields {
+			subs = append(subs, sub)
+		}
+		sort.Strings(subs)
+		for _, sub := range subs {
+			s := t.AddChild(f, sub)
+			for _, v := range subfields[sub] {
+				t.AddChild(s, v)
+			}
+		}
+	}
+	return t
+}
+
+// venueCatalog lists field → subfield → venues. The computer-science branch
+// mirrors the communities that appear in the paper's examples and
+// experiments; the other branches provide the "different field" mass that
+// mis-categorized entities come from.
+var venueCatalog = map[string]map[string][]string{
+	"Computer Science": {
+		"Database": {
+			"SIGMOD", "VLDB", "ICDE", "PVLDB", "TODS", "TKDE", "EDBT", "CIKM",
+		},
+		"System": {
+			"ICPADS", "OSDI", "SOSP", "ATC", "EuroSys", "NSDI", "ICDCS",
+		},
+		"Data Mining": {
+			"SIGKDD", "ICDM", "WSDM", "SDM", "PAKDD",
+		},
+		"Information Retrieval": {
+			"SIGIR", "WWW", "ECIR", "TREC",
+		},
+		"Machine Learning": {
+			"ICML", "NIPS", "AAAI", "IJCAI", "COLT",
+		},
+		"Computational Linguistics": {
+			"ACL", "EMNLP", "NAACL", "EACL", "COLING",
+		},
+		"Theory": {
+			"STOC", "FOCS", "SODA", "PODS", "ICALP",
+		},
+	},
+	"Chemical Sciences": {
+		"Chemical Sciences (general)": {
+			"RSC Advances", "JACS", "Angewandte Chemie", "Chemical Reviews",
+			"Green Chemistry", "Chemical Science",
+		},
+		"Analytical Chemistry": {
+			"Analytical Chemistry", "Talanta", "Analyst",
+		},
+		"Organic Chemistry": {
+			"Organic Letters", "Journal of Organic Chemistry", "Tetrahedron",
+		},
+	},
+	"Physics & Mathematics": {
+		"Physics (general)": {
+			"Physical Review Letters", "Nature Physics", "Physical Review B",
+		},
+		"Mathematics": {
+			"Annals of Mathematics", "Inventiones Mathematicae", "Journal of the AMS",
+		},
+	},
+	"Life Sciences": {
+		"Biology (general)": {
+			"Cell", "Nature", "Science", "PLOS Biology",
+		},
+		"Medicine": {
+			"The Lancet", "NEJM", "JAMA", "BMJ",
+		},
+	},
+	"Engineering": {
+		"Electrical Engineering": {
+			"IEEE Transactions on Power Electronics", "IEEE Transactions on Industrial Electronics",
+		},
+		"Mechanical Engineering": {
+			"Journal of Fluid Mechanics", "International Journal of Heat and Mass Transfer",
+		},
+	},
+	"Social Sciences": {
+		"Economics": {
+			"American Economic Review", "Econometrica", "Quarterly Journal of Economics",
+		},
+		"Psychology": {
+			"Psychological Science", "Journal of Personality and Social Psychology",
+		},
+	},
+}

@@ -1,0 +1,107 @@
+// Package partition provides the union–find structure DIME uses to maintain
+// disjoint partitions of a group under transitivity: when two entities are
+// verified to satisfy a positive rule they are unioned, and a candidate pair
+// already in one partition is never verified again (Section IV-C).
+package partition
+
+// UnionFind is a disjoint-set forest over n elements with path compression
+// and union by size. The zero value is unusable; create with New.
+type UnionFind struct {
+	parent []int
+	size   []int
+	count  int
+}
+
+// New creates a union–find over elements 0..n-1, each in its own set.
+func New(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int, n),
+		size:   make([]int, n),
+		count:  n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// Len returns the number of elements.
+func (uf *UnionFind) Len() int { return len(uf.parent) }
+
+// Grow appends a new element in its own singleton set and returns its index.
+func (uf *UnionFind) Grow() int {
+	i := len(uf.parent)
+	uf.parent = append(uf.parent, i)
+	uf.size = append(uf.size, 1)
+	uf.count++
+	return i
+}
+
+// Count returns the current number of disjoint sets.
+func (uf *UnionFind) Count() int { return uf.count }
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Same reports whether x and y are in the same set.
+func (uf *UnionFind) Same(x, y int) bool { return uf.Find(x) == uf.Find(y) }
+
+// Union merges the sets of x and y; it returns true when a merge happened
+// (false when they were already together).
+func (uf *UnionFind) Union(x, y int) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.size[rx] < uf.size[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	uf.size[rx] += uf.size[ry]
+	uf.count--
+	return true
+}
+
+// SizeOf returns the size of x's set.
+func (uf *UnionFind) SizeOf(x int) int { return uf.size[uf.Find(x)] }
+
+// Sets returns the disjoint sets as slices of element indexes. Sets are
+// ordered by their smallest member and members are ascending, so the output
+// is deterministic.
+func (uf *UnionFind) Sets() [][]int {
+	root2set := make(map[int][]int)
+	order := make([]int, 0)
+	for i := 0; i < len(uf.parent); i++ {
+		r := uf.Find(i)
+		if _, seen := root2set[r]; !seen {
+			order = append(order, r)
+		}
+		root2set[r] = append(root2set[r], i)
+	}
+	sets := make([][]int, 0, len(order))
+	for _, r := range order {
+		sets = append(sets, root2set[r])
+	}
+	return sets
+}
+
+// Largest returns the members of the largest set; ties break toward the set
+// containing the smallest element index, keeping pivot selection
+// deterministic.
+func (uf *UnionFind) Largest() []int {
+	sets := uf.Sets()
+	var best []int
+	for _, s := range sets {
+		if len(s) > len(best) {
+			best = s
+		}
+	}
+	return best
+}

@@ -1,0 +1,115 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestBasicUnionFind(t *testing.T) {
+	uf := New(5)
+	if uf.Count() != 5 || uf.Len() != 5 {
+		t.Fatalf("fresh UF: count=%d len=%d", uf.Count(), uf.Len())
+	}
+	if !uf.Union(0, 1) {
+		t.Fatal("first union should merge")
+	}
+	if uf.Union(0, 1) {
+		t.Fatal("second union should be a no-op")
+	}
+	if !uf.Same(0, 1) || uf.Same(0, 2) {
+		t.Fatal("Same broken")
+	}
+	uf.Union(1, 2)
+	if !uf.Same(0, 2) {
+		t.Fatal("transitivity broken")
+	}
+	if uf.SizeOf(2) != 3 {
+		t.Fatalf("SizeOf = %d", uf.SizeOf(2))
+	}
+	if uf.Count() != 3 {
+		t.Fatalf("Count = %d", uf.Count())
+	}
+}
+
+func TestSetsDeterministic(t *testing.T) {
+	uf := New(6)
+	uf.Union(4, 5)
+	uf.Union(1, 3)
+	got := uf.Sets()
+	want := [][]int{{0}, {1, 3}, {2}, {4, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Sets = %v, want %v", got, want)
+	}
+}
+
+func TestLargest(t *testing.T) {
+	uf := New(6)
+	uf.Union(0, 1)
+	uf.Union(2, 3)
+	uf.Union(3, 4)
+	got := uf.Largest()
+	if !reflect.DeepEqual(got, []int{2, 3, 4}) {
+		t.Fatalf("Largest = %v", got)
+	}
+}
+
+func TestLargestTieBreaksToSmallestMember(t *testing.T) {
+	uf := New(4)
+	uf.Union(2, 3)
+	uf.Union(0, 1)
+	got := uf.Largest()
+	if !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("Largest tie = %v, want [0 1]", got)
+	}
+}
+
+// Property: against a naive labeling implementation, random union sequences
+// produce identical partitions.
+func TestAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		uf := New(n)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range labels {
+				if labels[i] == from {
+					labels[i] = to
+				}
+			}
+		}
+		for op := 0; op < n; op++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			uf.Union(a, b)
+			if labels[a] != labels[b] {
+				relabel(labels[a], labels[b])
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if uf.Same(i, j) != (labels[i] == labels[j]) {
+					t.Fatalf("trial %d: Same(%d,%d) mismatch", trial, i, j)
+				}
+			}
+		}
+		// Sets must partition 0..n-1 exactly.
+		seen := make([]bool, n)
+		total := 0
+		for _, s := range uf.Sets() {
+			for _, x := range s {
+				if seen[x] {
+					t.Fatal("element appears twice in Sets")
+				}
+				seen[x] = true
+				total++
+			}
+		}
+		if total != n {
+			t.Fatalf("Sets covered %d of %d elements", total, n)
+		}
+	}
+}

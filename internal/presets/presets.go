@@ -1,0 +1,104 @@
+// Package presets bundles the rule sets of Section VI-A — the two positive
+// and three negative Google Scholar rules, and the three positive and two
+// negative Amazon rules — together with the record configurations (token
+// modes, ontology trees) they need. The same rules are re-derivable from
+// examples with internal/rulegen; the round trip is covered by tests.
+package presets
+
+import (
+	"dime/internal/datagen"
+	"dime/internal/ontology"
+	"dime/internal/rules"
+)
+
+// ScholarConfig returns the record configuration of the synthetic Scholar
+// dataset: element tokens for Authors, word tokens for Title, and the
+// built-in venue ontology.
+func ScholarConfig() *rules.Config {
+	return rules.NewConfig(datagen.ScholarSchema).
+		WithTokenMode("Title", rules.WordsMode).
+		WithTree("Venue", ontology.VenueTree())
+}
+
+// ScholarRules returns the Scholar rule set of Section VI-A:
+//
+//	ϕ+1: ov(Authors) ≥ 2
+//	ϕ+2: ov(Authors) ≥ 1 ∧ on(Venue) ≥ 0.75
+//	φ−1: ov(Authors) = 0
+//	φ−2: ov(Authors) ≤ 1 ∧ on(Venue) ≤ 0.25
+//	φ−3: ov(Authors) ≤ 1 ∧ jac(Title) ≤ 0.25
+//
+// φ−3 substitutes Jaccard title similarity for the paper's ontology title
+// similarity: titles have no published ontology, and the threshold plays the
+// same "textually unrelated" role.
+func ScholarRules(cfg *rules.Config) rules.RuleSet {
+	return rules.RuleSet{
+		Positive: []rules.Rule{
+			rules.MustParse(cfg, "phi+1", rules.Positive, "ov(Authors) >= 2"),
+			rules.MustParse(cfg, "phi+2", rules.Positive, "ov(Authors) >= 1 && on(Venue) >= 0.75"),
+		},
+		Negative: []rules.Rule{
+			rules.MustParse(cfg, "phi-1", rules.Negative, "ov(Authors) = 0"),
+			rules.MustParse(cfg, "phi-2", rules.Negative, "ov(Authors) <= 1 && on(Venue) <= 0.25"),
+			rules.MustParse(cfg, "phi-3", rules.Negative, "ov(Authors) <= 1 && jac(Title) <= 0.25"),
+		},
+	}
+}
+
+// AmazonConfig returns the record configuration of the synthetic Amazon
+// dataset. The Description ontology is learned (LDA) or oracle-derived, so
+// the tree and its node mapper are injected by the caller; see
+// datagen.AmazonCorpus.TrueMapper and lda.Hierarchy.Mapper.
+func AmazonConfig(descTree *ontology.Tree, mapper rules.NodeMapper) *rules.Config {
+	cfg := rules.NewConfig(datagen.AmazonSchema).
+		WithTokenMode("Title", rules.WordsMode).
+		WithTokenMode("Description", rules.WordsMode).
+		WithTree("Description", descTree)
+	if mapper != nil {
+		cfg.WithMapper("Description", mapper)
+	}
+	return cfg
+}
+
+// AmazonRules returns the Amazon rule set of Section VI-A:
+//
+//	ϕ+3: ov(Also_bought) ≥ 2 ∧ ov(Also_viewed) ≥ 2
+//	ϕ+4: ov(Bought_together) ≥ 1 ∧ on(Description) ≥ 0.75
+//	ϕ+5: ov(Buy_after_viewing) ≥ 1 ∧ on(Description) ≥ 0.75
+//	φ−4: ov(Also_bought) = 0 ∧ on(Description) ≤ 0.5
+//	φ−5: ov(Also_viewed) = 0 ∧ on(Description) ≤ 0.5
+func AmazonRules(cfg *rules.Config) rules.RuleSet {
+	return rules.RuleSet{
+		Positive: []rules.Rule{
+			rules.MustParse(cfg, "phi+3", rules.Positive, "ov(Also_bought) >= 2 && ov(Also_viewed) >= 2"),
+			rules.MustParse(cfg, "phi+4", rules.Positive, "ov(Bought_together) >= 1 && on(Description) >= 0.75"),
+			rules.MustParse(cfg, "phi+5", rules.Positive, "ov(Buy_after_viewing) >= 1 && on(Description) >= 0.75"),
+		},
+		Negative: []rules.Rule{
+			rules.MustParse(cfg, "phi-4", rules.Negative, "ov(Also_bought) = 0 && on(Description) <= 0.5"),
+			rules.MustParse(cfg, "phi-5", rules.Negative, "ov(Also_viewed) = 0 && on(Description) <= 0.5"),
+		},
+	}
+}
+
+// DBGenConfig returns the record configuration of the DBGen-style
+// scalability dataset.
+func DBGenConfig() *rules.Config {
+	return rules.NewConfig(datagen.DBGenSchema).
+		WithTokenMode("Name", rules.WordsMode)
+}
+
+// DBGenRules returns the two positive and two negative entity-matching
+// rules used for the 20k–100k scaling table.
+func DBGenRules(cfg *rules.Config) rules.RuleSet {
+	return rules.RuleSet{
+		Positive: []rules.Rule{
+			rules.MustParse(cfg, "gen+1", rules.Positive, "eds(Name) >= 0.9"),
+			rules.MustParse(cfg, "gen+2", rules.Positive, "jac(Name) >= 0.6 && ov(Tags) >= 2"),
+		},
+		Negative: []rules.Rule{
+			rules.MustParse(cfg, "gen-1", rules.Negative, "ov(Tags) = 0"),
+			rules.MustParse(cfg, "gen-2", rules.Negative, "ov(Tags) <= 1 && eds(Name) <= 0.5"),
+		},
+	}
+}

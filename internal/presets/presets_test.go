@@ -1,0 +1,147 @@
+package presets
+
+import (
+	"strings"
+	"testing"
+
+	"dime/internal/core"
+	"dime/internal/datagen"
+	"dime/internal/metrics"
+	"dime/internal/rulegen"
+	"dime/internal/rules"
+)
+
+func TestScholarPresetValid(t *testing.T) {
+	cfg := ScholarConfig()
+	rs := ScholarRules(cfg)
+	if err := rs.Validate(datagen.ScholarSchema); err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Positive) != 2 || len(rs.Negative) != 3 {
+		t.Fatalf("scholar rules: %d positive, %d negative", len(rs.Positive), len(rs.Negative))
+	}
+	// The first negative rule must be the conservative author-only one
+	// (Exp-3: "our choice using only author names as the default
+	// discriminative attribute in the first negative rule was valid").
+	if got := rs.Negative[0].String(); !strings.Contains(got, "ov(Authors) <= 0") {
+		t.Fatalf("first negative rule = %q", got)
+	}
+}
+
+func TestAmazonPresetValid(t *testing.T) {
+	c := datagen.Amazon(datagen.AmazonOptions{ProductsPerCategory: 1, Seed: 1})
+	cfg := AmazonConfig(c.TrueTree, c.TrueMapper())
+	rs := AmazonRules(cfg)
+	if err := rs.Validate(datagen.AmazonSchema); err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Positive) != 3 || len(rs.Negative) != 2 {
+		t.Fatalf("amazon rules: %d positive, %d negative", len(rs.Positive), len(rs.Negative))
+	}
+}
+
+func TestDBGenPresetValid(t *testing.T) {
+	cfg := DBGenConfig()
+	rs := DBGenRules(cfg)
+	if err := rs.Validate(datagen.DBGenSchema); err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Positive) != 2 || len(rs.Negative) != 2 {
+		t.Fatal("dbgen preset should have two positive and two negative rules (the paper's Gen setup)")
+	}
+}
+
+// TestRuleGenerationRoundTrip is the DESIGN.md round trip: rules learned
+// from examples drawn from generated data must perform comparably to the
+// hand-written preset rules on unseen data.
+func TestRuleGenerationRoundTrip(t *testing.T) {
+	cfg := ScholarConfig()
+	train := datagen.Scholar(datagen.ScholarOptions{NumPubs: 100, ErrorRate: 0.15, Seed: 51})
+	recs, err := cfg.NewRecords(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var good, bad []*rules.Record
+	for _, r := range recs {
+		if train.Truth[r.Entity.ID] {
+			bad = append(bad, r)
+		} else {
+			good = append(good, r)
+		}
+	}
+	var exs []rulegen.Example
+	for i := 0; i < 150; i++ {
+		exs = append(exs, rulegen.Example{A: good[(i*7)%len(good)], B: good[(i*13+1)%len(good)], Same: true})
+	}
+	for i := 0; i < 150; i++ {
+		exs = append(exs, rulegen.Example{A: good[(i*11)%len(good)], B: bad[i%len(bad)], Same: false})
+	}
+	learned, err := rulegen.Generate(rulegen.Options{Config: cfg, MaxThresholds: 24}, exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	test := datagen.Scholar(datagen.ScholarOptions{NumPubs: 150, ErrorRate: 0.07, Seed: 52})
+	truth := test.MisCategorizedIDs()
+	bestOf := func(rs rules.RuleSet) metrics.PRF {
+		res, err := core.DIMEPlus(test, core.Options{Config: cfg, Rules: rs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := metrics.PRF{}
+		for li := range res.Levels {
+			if s := metrics.Score(res.MisCategorizedIDs(li), truth); s.F1 > best.F1 {
+				best = s
+			}
+		}
+		return best
+	}
+	learnedScore := bestOf(learned)
+	presetScore := bestOf(ScholarRules(cfg))
+	if learnedScore.F1 < presetScore.F1-0.25 {
+		t.Fatalf("learned rules (%v) far below preset rules (%v)", learnedScore, presetScore)
+	}
+}
+
+// TestPresetsDiscoverInjectedErrors smoke-checks each preset end-to-end on
+// its own generator.
+func TestPresetsDiscoverInjectedErrors(t *testing.T) {
+	t.Run("scholar", func(t *testing.T) {
+		cfg := ScholarConfig()
+		g := datagen.Scholar(datagen.ScholarOptions{NumPubs: 100, ErrorRate: 0.08, Seed: 61})
+		res, err := core.DIMEPlus(g, core.Options{Config: cfg, Rules: ScholarRules(cfg)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := metrics.Score(res.Final(), g.MisCategorizedIDs())
+		if s.Recall < 0.5 {
+			t.Fatalf("scholar preset recall %v too low", s)
+		}
+	})
+	t.Run("amazon", func(t *testing.T) {
+		c := datagen.Amazon(datagen.AmazonOptions{ProductsPerCategory: 40, ErrorRate: 0.15, Seed: 62,
+			Categories: []string{"Router", "Adapter", "Blender", "Puzzle"}})
+		cfg := AmazonConfig(c.TrueTree, c.TrueMapper())
+		rs := AmazonRules(cfg)
+		res, err := core.DIMEPlus(c.Groups[0], core.Options{Config: cfg, Rules: rs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := metrics.Score(res.Final(), c.Groups[0].MisCategorizedIDs())
+		if s.Recall < 0.5 {
+			t.Fatalf("amazon preset recall %v too low", s)
+		}
+	})
+	t.Run("dbgen", func(t *testing.T) {
+		cfg := DBGenConfig()
+		g := datagen.DBGen(datagen.DBGenOptions{NumEntities: 800, ErrorRate: 0.15, Seed: 63})
+		res, err := core.DIMEPlus(g, core.Options{Config: cfg, Rules: DBGenRules(cfg)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := metrics.Score(res.Final(), g.MisCategorizedIDs())
+		if s.Recall < 0.8 {
+			t.Fatalf("dbgen preset recall %v too low", s)
+		}
+	})
+}

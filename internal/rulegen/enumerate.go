@@ -1,0 +1,118 @@
+package rulegen
+
+import (
+	"fmt"
+
+	"dime/internal/rules"
+)
+
+// Enumerate runs the exact enumeration algorithm of Section V-B: it builds
+// every rule that picks at most one candidate predicate per attribute, then
+// searches all subsets of those rules (up to maxSetSize rules per set) for
+// the subset maximizing the objective. The search space is exponential —
+// O(2^(|F|·m·|S|)) in the paper's notation — so this is only usable as an
+// exactness oracle on tiny inputs; Greedy is the practical algorithm.
+func Enumerate(opts Options, examples []Example, kind rules.Kind, maxSetSize int) ([]rules.Rule, error) {
+	opts.defaults(kind)
+	if maxSetSize <= 0 {
+		maxSetSize = 2
+	}
+	candidates, err := CandidatePredicates(opts, examples, kind)
+	if err != nil {
+		return nil, err
+	}
+	allRules := enumerateRules(opts, candidates)
+	if len(allRules) == 0 {
+		return nil, fmt.Errorf("rulegen: no candidate rules")
+	}
+	const hardCap = 1 << 22
+	if cost := setSearchCost(len(allRules), maxSetSize); cost > hardCap {
+		return nil, fmt.Errorf("rulegen: enumeration space too large (%d rules, %d combinations)", len(allRules), cost)
+	}
+
+	var best []rules.Rule
+	bestScore := 0
+	idx := make([]int, 0, maxSetSize)
+	var walk func(start int)
+	walk = func(start int) {
+		if len(idx) > 0 {
+			set := make([]rules.Rule, len(idx))
+			for i, j := range idx {
+				set[i] = allRules[j]
+			}
+			if score := ScoreRuleSet(set, examples, opts.Objective); score > bestScore {
+				bestScore = score
+				best = set
+			}
+		}
+		if len(idx) == maxSetSize {
+			return
+		}
+		for j := start; j < len(allRules); j++ {
+			idx = append(idx, j)
+			walk(j + 1)
+			idx = idx[:len(idx)-1]
+		}
+	}
+	walk(0)
+	if best == nil {
+		return nil, fmt.Errorf("rulegen: no rule set with positive objective")
+	}
+	for i := range best {
+		prefix := "enum+"
+		if kind == rules.Negative {
+			prefix = "enum-"
+		}
+		best[i].Name = fmt.Sprintf("%s%d", prefix, i+1)
+		best[i].Kind = kind
+	}
+	return best, nil
+}
+
+// enumerateRules builds every rule choosing 0 or 1 predicate per attribute
+// (at least one overall, at most MaxPredicates).
+func enumerateRules(opts Options, candidates []rules.Predicate) []rules.Rule {
+	byAttr := map[int][]rules.Predicate{}
+	attrs := []int{}
+	for _, p := range candidates {
+		if _, seen := byAttr[p.Attr]; !seen {
+			attrs = append(attrs, p.Attr)
+		}
+		byAttr[p.Attr] = append(byAttr[p.Attr], p)
+	}
+	var out []rules.Rule
+	var cur []rules.Predicate
+	var walk func(ai int)
+	walk = func(ai int) {
+		if ai == len(attrs) {
+			if len(cur) > 0 && len(cur) <= opts.MaxPredicates {
+				out = append(out, rules.Rule{Predicates: append([]rules.Predicate(nil), cur...)})
+			}
+			return
+		}
+		walk(ai + 1) // skip this attribute
+		if len(cur) < opts.MaxPredicates {
+			for _, p := range byAttr[attrs[ai]] {
+				cur = append(cur, p)
+				walk(ai + 1)
+				cur = cur[:len(cur)-1]
+			}
+		}
+	}
+	walk(0)
+	return out
+}
+
+// setSearchCost estimates Σ_{k≤max} C(n, k).
+func setSearchCost(n, max int) int {
+	total := 0
+	term := 1
+	for k := 1; k <= max; k++ {
+		term = term * (n - k + 1) / k
+		if term < 0 || total+term < 0 {
+			return 1 << 30
+		}
+		total += term
+	}
+	return total
+}

@@ -1,0 +1,138 @@
+package rulegen
+
+import (
+	"fmt"
+
+	"dime/internal/rules"
+)
+
+// Greedy runs the greedy rule-generation algorithm of Section V-C (and V-D
+// for negative rules): rules are built one predicate at a time, each rule is
+// grown while the objective improves, and rules are added to the set while
+// the set-level objective improves. Generated rules are named kind+index and
+// returned in generation order (negative rules are applied in that order).
+func Greedy(opts Options, examples []Example, kind rules.Kind) ([]rules.Rule, error) {
+	opts.defaults(kind)
+	candidates, err := CandidatePredicates(opts, examples, kind)
+	if err != nil {
+		return nil, err
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("rulegen: no candidate predicates (no examples?)")
+	}
+
+	var out []rules.Rule
+	remaining := append([]Example(nil), examples...)
+	bestScore := 0 // the empty set covers nothing: score 0
+
+	for len(out) < opts.MaxRules {
+		rule, ok := greedyRule(opts, candidates, remaining, kind)
+		if !ok {
+			break
+		}
+		trial := append(append([]rules.Rule(nil), out...), rule)
+		score := ScoreRuleSet(trial, examples, opts.Objective)
+		if score <= bestScore {
+			break
+		}
+		out = trial
+		bestScore = score
+		// Remove the examples the new rule covers; later rules target what
+		// is still uncovered (Section V-C's S''+/S''− update).
+		kept := remaining[:0]
+		for _, ex := range remaining {
+			if !rule.Eval(ex.A, ex.B) {
+				kept = append(kept, ex)
+			}
+		}
+		remaining = kept
+		if len(remaining) == 0 {
+			break
+		}
+	}
+	for i := range out {
+		prefix := "gen+"
+		if kind == rules.Negative {
+			prefix = "gen-"
+		}
+		out[i].Name = fmt.Sprintf("%s%d", prefix, i+1)
+		out[i].Kind = kind
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("rulegen: greedy produced no rule with positive objective")
+	}
+	return out, nil
+}
+
+// greedyRule builds one rule over the remaining examples: start from the
+// best single predicate, then add predicates (one per attribute at most)
+// while the rule-level objective improves.
+func greedyRule(opts Options, candidates []rules.Predicate, examples []Example, kind rules.Kind) (rules.Rule, bool) {
+	target := func(ex Example) bool {
+		if kind == rules.Positive {
+			return ex.Same
+		}
+		return !ex.Same
+	}
+	// Is there anything left to cover?
+	anyTarget := false
+	for _, ex := range examples {
+		if target(ex) {
+			anyTarget = true
+			break
+		}
+	}
+	if !anyTarget {
+		return rules.Rule{}, false
+	}
+
+	var rule rules.Rule
+	used := map[int]bool{} // attributes already in the rule
+	bestScore := -1 << 30
+
+	for len(rule.Predicates) < opts.MaxPredicates {
+		var bestPred rules.Predicate
+		improved := false
+		for _, p := range candidates {
+			if used[p.Attr] {
+				continue
+			}
+			trial := rules.Rule{Predicates: append(append([]rules.Predicate(nil), rule.Predicates...), p)}
+			score := ScoreRuleSet([]rules.Rule{trial}, examples, opts.Objective)
+			if score > bestScore {
+				bestScore = score
+				bestPred = p
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+		rule.Predicates = append(rule.Predicates, bestPred)
+		used[bestPred.Attr] = true
+		// A perfect rule cannot improve further.
+		if pos, neg := coverage([]rules.Rule{rule}, examples); (kind == rules.Positive && neg == 0) ||
+			(kind == rules.Negative && pos == 0) {
+			break
+		}
+	}
+	if len(rule.Predicates) == 0 || bestScore <= 0 {
+		return rules.Rule{}, false
+	}
+	return rule, true
+}
+
+// Generate produces a full rule set (positive rules then negative rules)
+// from one pool of examples, the end-to-end entry point the experiments and
+// the public API use.
+func Generate(opts Options, examples []Example) (rules.RuleSet, error) {
+	pos, err := Greedy(opts, examples, rules.Positive)
+	if err != nil {
+		return rules.RuleSet{}, fmt.Errorf("rulegen: positive rules: %w", err)
+	}
+	neg, err := Greedy(opts, examples, rules.Negative)
+	if err != nil {
+		return rules.RuleSet{}, fmt.Errorf("rulegen: negative rules: %w", err)
+	}
+	return rules.RuleSet{Positive: pos, Negative: neg}, nil
+}

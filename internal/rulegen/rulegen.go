@@ -1,0 +1,182 @@
+// Package rulegen implements Section V of the paper: generating positive and
+// negative rules from labelled example pairs.
+//
+// The key insight (Theorem 3) is that although thresholds range over a
+// continuum, only the similarity values realized by the examples can change
+// the objective, so the candidate-predicate space is finite. On top of that
+// space the package provides the exact enumeration algorithm (Section V-B,
+// exponential, used as a test oracle on tiny inputs) and the greedy
+// algorithm (Section V-C) that builds rules predicate-by-predicate and rule
+// sets rule-by-rule, plus negative-rule generation (Section V-D).
+package rulegen
+
+import (
+	"fmt"
+	"sort"
+
+	"dime/internal/rules"
+)
+
+// Example is a labelled entity pair: Same means the two entities belong in
+// the same category.
+type Example struct {
+	A, B *rules.Record
+	Same bool
+}
+
+// Objective scores a rule set against example sets; larger is better. The
+// default for positive rules is coveredPositives − coveredNegatives and the
+// mirror image for negative rules.
+type Objective func(coveredPos, coveredNeg int) int
+
+// PositiveObjective is |E ∩ S+| − |E ∩ S−| (Section V-A).
+func PositiveObjective(coveredPos, coveredNeg int) int { return coveredPos - coveredNeg }
+
+// NegativeObjective is |E ∩ S−| − |E ∩ S+| (Section V-D).
+func NegativeObjective(coveredPos, coveredNeg int) int { return coveredNeg - coveredPos }
+
+// Options configures generation.
+type Options struct {
+	// Config supplies the schema, trees and token modes; predicates are
+	// generated only for similarity functions applicable under it.
+	Config *rules.Config
+	// Functions restricts the similarity-function library; nil means
+	// {Overlap, Jaccard, Ontology} plus EditSim for word-token attributes.
+	Functions []rules.Func
+	// Objective overrides the default objective.
+	Objective Objective
+	// MaxRules caps the generated rule count; 0 means 8.
+	MaxRules int
+	// MaxPredicates caps predicates per rule; 0 means 3.
+	MaxPredicates int
+	// MaxThresholds caps candidate thresholds kept per (attribute,
+	// function); 0 keeps all example-induced values. Capping keeps the
+	// greedy search fast on large example sets: the retained thresholds are
+	// evenly spaced quantiles of the induced values.
+	MaxThresholds int
+}
+
+func (o *Options) defaults(kind rules.Kind) {
+	if o.MaxRules == 0 {
+		o.MaxRules = 8
+	}
+	if o.MaxPredicates == 0 {
+		o.MaxPredicates = 3
+	}
+	if o.Objective == nil {
+		if kind == rules.Positive {
+			o.Objective = PositiveObjective
+		} else {
+			o.Objective = NegativeObjective
+		}
+	}
+}
+
+// CandidatePredicates generates the finite candidate-predicate sets
+// C_p(A_i) of Theorem 3: for every attribute, every applicable similarity
+// function, and every similarity value realized by the driving examples
+// (positive examples for GE predicates, negative examples for LE).
+func CandidatePredicates(opts Options, examples []Example, kind rules.Kind) ([]rules.Predicate, error) {
+	if opts.Config == nil || opts.Config.Schema == nil {
+		return nil, fmt.Errorf("rulegen: options need a config with schema")
+	}
+	schema := opts.Config.Schema
+	var out []rules.Predicate
+	for attr := 0; attr < schema.Len(); attr++ {
+		name := schema.Name(attr)
+		for _, fn := range opts.functionsFor(name) {
+			p := rules.Predicate{Attr: attr, AttrName: name, Fn: fn}
+			if fn == rules.Ontology {
+				p.Tree = opts.Config.Tree(name)
+				if p.Tree == nil {
+					continue
+				}
+			}
+			if kind == rules.Positive {
+				p.Op = rules.GE
+			} else {
+				p.Op = rules.LE
+			}
+			values := map[float64]bool{}
+			for _, ex := range examples {
+				if (kind == rules.Positive) != ex.Same {
+					continue // GE thresholds from S+, LE thresholds from S−
+				}
+				v := p.Similarity(ex.A, ex.B)
+				if v < 0 {
+					v = 0
+				}
+				values[v] = true
+			}
+			thresholds := make([]float64, 0, len(values))
+			for v := range values {
+				thresholds = append(thresholds, v)
+			}
+			sort.Float64s(thresholds)
+			thresholds = capThresholds(thresholds, opts.MaxThresholds)
+			for _, th := range thresholds {
+				q := p
+				q.Threshold = th
+				out = append(out, q)
+			}
+		}
+	}
+	return out, nil
+}
+
+// capThresholds keeps at most max values, evenly spaced across the sorted
+// list (always keeping the extremes).
+func capThresholds(ths []float64, max int) []float64 {
+	if max <= 0 || len(ths) <= max {
+		return ths
+	}
+	out := make([]float64, 0, max)
+	for i := 0; i < max; i++ {
+		idx := i * (len(ths) - 1) / (max - 1)
+		out = append(out, ths[idx])
+	}
+	// Dedup (quantiles can repeat).
+	dedup := out[:0]
+	for i, v := range out {
+		if i == 0 || v != dedup[len(dedup)-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}
+
+// functionsFor returns the similarity-function library for an attribute.
+func (o *Options) functionsFor(attr string) []rules.Func {
+	if o.Functions != nil {
+		return o.Functions
+	}
+	fns := []rules.Func{rules.Overlap, rules.Jaccard}
+	if o.Config.Tree(attr) != nil {
+		fns = append(fns, rules.Ontology)
+	}
+	return fns
+}
+
+// coverage reports how many positive and negative examples a rule set
+// covers (a rule set covers an example when any rule matches the pair).
+func coverage(rs []rules.Rule, examples []Example) (pos, neg int) {
+	for _, ex := range examples {
+		for _, r := range rs {
+			if r.Eval(ex.A, ex.B) {
+				if ex.Same {
+					pos++
+				} else {
+					neg++
+				}
+				break
+			}
+		}
+	}
+	return pos, neg
+}
+
+// ScoreRuleSet evaluates a rule set under an objective.
+func ScoreRuleSet(rs []rules.Rule, examples []Example, obj Objective) int {
+	pos, neg := coverage(rs, examples)
+	return obj(pos, neg)
+}

@@ -1,0 +1,206 @@
+package rulegen
+
+import (
+	"testing"
+
+	"dime/internal/fixtures"
+	"dime/internal/rules"
+)
+
+// figure1Examples builds the example pool of Example 10: all pairs among
+// {e1,e2,e3,e5} are positive, pairs crossing into {e4,e6} are negative.
+func figure1Examples(t *testing.T) (*rules.Config, []Example) {
+	t.Helper()
+	g := fixtures.Figure1Group()
+	cfg := fixtures.ScholarConfig()
+	recs, err := cfg.NewRecords(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := map[int]bool{0: true, 1: true, 2: true, 4: true}
+	var exs []Example
+	for i := 0; i < len(recs); i++ {
+		for j := i + 1; j < len(recs); j++ {
+			if correct[i] && correct[j] {
+				exs = append(exs, Example{A: recs[i], B: recs[j], Same: true})
+			} else if correct[i] != correct[j] {
+				exs = append(exs, Example{A: recs[i], B: recs[j], Same: false})
+			}
+		}
+	}
+	return cfg, exs
+}
+
+func TestCandidatePredicatesFinite(t *testing.T) {
+	cfg, exs := figure1Examples(t)
+	cands, err := CandidatePredicates(Options{Config: cfg}, exs, rules.Positive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	// Thresholds must be example-induced: the author-overlap candidates can
+	// only take values realized by positive examples (1 and 2 here).
+	for _, p := range cands {
+		if p.Fn == rules.Overlap && p.AttrName == "Authors" {
+			if p.Threshold != 1 && p.Threshold != 2 {
+				t.Fatalf("unexpected overlap threshold %v", p.Threshold)
+			}
+		}
+		if p.Op != rules.GE {
+			t.Fatalf("positive candidates must be GE: %v", p)
+		}
+	}
+}
+
+func TestCandidatePredicatesNegative(t *testing.T) {
+	cfg, exs := figure1Examples(t)
+	cands, err := CandidatePredicates(Options{Config: cfg}, exs, rules.Negative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range cands {
+		if p.Op != rules.LE {
+			t.Fatalf("negative candidates must be LE: %v", p)
+		}
+	}
+}
+
+func TestGreedyRecoversPaperlikeRules(t *testing.T) {
+	cfg, exs := figure1Examples(t)
+	rs, err := Generate(Options{Config: cfg}, exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generated positive rules must separate the example pool cleanly:
+	// cover all positives and no negatives (the Figure-1 pool is separable,
+	// as Example 12 shows).
+	pos, neg := 0, 0
+	for _, ex := range exs {
+		matched := false
+		for _, r := range rs.Positive {
+			if r.Eval(ex.A, ex.B) {
+				matched = true
+				break
+			}
+		}
+		if matched && ex.Same {
+			pos++
+		}
+		if matched && !ex.Same {
+			neg++
+		}
+	}
+	if neg != 0 {
+		t.Fatalf("positive rules cover %d negative examples", neg)
+	}
+	if pos < 5 { // 6 positive pairs exist; near-full coverage expected
+		t.Fatalf("positive rules cover only %d positives", pos)
+	}
+	// Negative rules must cover the mis-categorized pairs without touching
+	// positive pairs.
+	covNeg, covPos := 0, 0
+	for _, ex := range exs {
+		for _, r := range rs.Negative {
+			if r.Eval(ex.A, ex.B) {
+				if ex.Same {
+					covPos++
+				} else {
+					covNeg++
+				}
+				break
+			}
+		}
+	}
+	if covPos != 0 {
+		t.Fatalf("negative rules cover %d positive examples", covPos)
+	}
+	if covNeg < 6 {
+		t.Fatalf("negative rules cover only %d of the negative examples", covNeg)
+	}
+}
+
+// TestGreedyFirstPredicateMatchesExample12: the first generated positive
+// rule should be driven by author overlap, as the paper's Example 12 derives
+// (ϕ+1 = ov(Authors) ≥ 2 maximizes the objective first).
+func TestGreedyFirstPredicateMatchesExample12(t *testing.T) {
+	cfg, exs := figure1Examples(t)
+	rs, err := Greedy(Options{Config: cfg}, exs, rules.Positive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rs[0].Predicates[0]
+	if first.AttrName != "Authors" {
+		t.Fatalf("first rule's first predicate should be on Authors, got %v", first)
+	}
+}
+
+func TestGreedyMatchesEnumerationOnTinyInput(t *testing.T) {
+	cfg, exs := figure1Examples(t)
+	// Restrict to a small library to keep enumeration tractable.
+	opts := Options{
+		Config:        cfg,
+		Functions:     []rules.Func{rules.Overlap},
+		MaxPredicates: 1,
+		MaxRules:      2,
+	}
+	greedy, err := Greedy(opts, exs, rules.Positive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Enumerate(opts, exs, rules.Positive, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := ScoreRuleSet(greedy, exs, PositiveObjective)
+	es := ScoreRuleSet(exact, exs, PositiveObjective)
+	if gs > es {
+		t.Fatalf("greedy (%d) cannot beat exact enumeration (%d)", gs, es)
+	}
+	if es-gs > 1 {
+		t.Fatalf("greedy (%d) far from exact (%d) on a tiny separable input", gs, es)
+	}
+}
+
+func TestEnumerateRejectsHugeSpaces(t *testing.T) {
+	cfg, exs := figure1Examples(t)
+	_, err := Enumerate(Options{Config: cfg, MaxPredicates: 3}, exs, rules.Positive, 6)
+	if err == nil {
+		t.Skip("space happened to be small enough; nothing to assert")
+	}
+}
+
+func TestCapThresholds(t *testing.T) {
+	ths := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+	got := capThresholds(ths, 3)
+	if len(got) != 3 || got[0] != 0 || got[2] != 1 {
+		t.Fatalf("capThresholds = %v", got)
+	}
+	if got := capThresholds(ths, 0); len(got) != len(ths) {
+		t.Fatal("max=0 keeps all")
+	}
+	if got := capThresholds([]float64{1, 1, 1}, 2); len(got) != 1 {
+		t.Fatalf("dedup failed: %v", got)
+	}
+}
+
+func TestGreedyErrors(t *testing.T) {
+	cfg, _ := figure1Examples(t)
+	if _, err := Greedy(Options{Config: cfg}, nil, rules.Positive); err == nil {
+		t.Fatal("no examples should fail")
+	}
+	if _, err := Greedy(Options{}, nil, rules.Positive); err == nil {
+		t.Fatal("no config should fail")
+	}
+}
+
+func TestScoreRuleSet(t *testing.T) {
+	cfg, exs := figure1Examples(t)
+	r := rules.MustParse(cfg, "p", rules.Positive, "ov(Authors) >= 2")
+	score := ScoreRuleSet([]rules.Rule{r}, exs, PositiveObjective)
+	// ov≥2 holds for (e1,e3) and (e2,e5) among positives, no negatives.
+	if score != 2 {
+		t.Fatalf("score = %d, want 2", score)
+	}
+}

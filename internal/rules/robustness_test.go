@@ -1,0 +1,112 @@
+package rules
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds the DSL parser random garbage; it must return
+// errors, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	cfg := testConfig()
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse(%q) panicked: %v", s, r)
+			}
+		}()
+		_, _ = Parse(cfg, "fuzz", Positive, s)
+		_, _ = Parse(cfg, "fuzz", Negative, s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// Structured near-misses, beyond purely random strings.
+	rng := rand.New(rand.NewSource(8))
+	fragments := []string{"ov", "jac", "on", "(", ")", "Authors", "Venue", ">=", "<=", "=",
+		"0", "1", "0.5", "&&", " ", "-1", "NaN", "Inf", "((", "))"}
+	for i := 0; i < 500; i++ {
+		var b strings.Builder
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			b.WriteString(fragments[rng.Intn(len(fragments))])
+		}
+		f(b.String())
+	}
+}
+
+// TestEditSimilarityPredicates covers the eds function end to end.
+func TestEditSimilarityPredicates(t *testing.T) {
+	cfg := testConfig()
+	a := mustRecord(t, cfg, "a", "data cleaning", nil, "SIGMOD")
+	b := mustRecord(t, cfg, "b", "data cleanings", nil, "SIGMOD")
+	c := mustRecord(t, cfg, "c", "quantum entanglement", nil, "SIGMOD")
+
+	p := MustParse(cfg, "p", Positive, "eds(Title) >= 0.9")
+	if !p.Eval(a, b) {
+		t.Fatal("near-identical titles should pass eds >= 0.9")
+	}
+	if p.Eval(a, c) {
+		t.Fatal("unrelated titles should fail eds >= 0.9")
+	}
+	n := MustParse(cfg, "n", Negative, "eds(Title) <= 0.4")
+	if !n.Eval(a, c) {
+		t.Fatal("unrelated titles should pass eds <= 0.4")
+	}
+	if n.Eval(a, b) {
+		t.Fatal("near-identical titles should fail eds <= 0.4")
+	}
+}
+
+// TestDiceCosinePredicates covers the dice and cos families through the DSL.
+func TestDiceCosinePredicates(t *testing.T) {
+	cfg := testConfig()
+	a := mustRecord(t, cfg, "a", "alpha beta gamma", nil, "SIGMOD")
+	b := mustRecord(t, cfg, "b", "alpha beta delta", nil, "SIGMOD")
+	dice := MustParse(cfg, "d", Positive, "dice(Title) >= 0.6")
+	if !dice.Eval(a, b) { // dice = 2·2/(3+3) = 0.667
+		t.Fatal("dice 0.667 should pass >= 0.6")
+	}
+	cos := MustParse(cfg, "c", Positive, "cos(Title) >= 0.6")
+	if !cos.Eval(a, b) { // cos = 2/3
+		t.Fatal("cos 0.667 should pass >= 0.6")
+	}
+}
+
+// TestRecordWithEmptyValues: empty attribute values must flow through every
+// similarity family without panicking.
+func TestRecordWithEmptyValues(t *testing.T) {
+	cfg := testConfig()
+	empty := mustRecord(t, cfg, "e", "", nil, "")
+	full := mustRecord(t, cfg, "f", "some title", []string{"A B"}, "SIGMOD")
+	for _, dsl := range []string{
+		"ov(Authors) >= 1", "jac(Title) >= 0.5", "dice(Title) >= 0.5",
+		"cos(Title) >= 0.5", "eds(Title) >= 0.5", "ed(Title) <= 2",
+		"on(Venue) >= 0.5",
+	} {
+		r := MustParse(cfg, "r", Positive, dsl)
+		_ = r.Eval(empty, full)
+		_ = r.Eval(empty, empty)
+		_ = r.Cost(empty, full)
+	}
+}
+
+// TestPredicateSimilaritySymmetry: every DSL function is symmetric on
+// records.
+func TestPredicateSimilaritySymmetry(t *testing.T) {
+	cfg := testConfig()
+	a := mustRecord(t, cfg, "a", "alpha beta", []string{"X", "Y"}, "SIGMOD")
+	b := mustRecord(t, cfg, "b", "beta gamma delta", []string{"Y", "Z"}, "RSC Advances")
+	for _, dsl := range []string{
+		"ov(Authors) >= 1", "jac(Title) >= 0.1", "dice(Title) >= 0.1",
+		"cos(Title) >= 0.1", "eds(Title) >= 0.1", "ed(Title) <= 5",
+		"on(Venue) >= 0.1",
+	} {
+		p := MustParse(cfg, "p", Positive, dsl).Predicates[0]
+		if p.Similarity(a, b) != p.Similarity(b, a) {
+			t.Errorf("%s asymmetric: %v vs %v", dsl, p.Similarity(a, b), p.Similarity(b, a))
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package rules
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// jsonRuleSet is the serialized form of a rule set: DSL strings keyed by
+// rule name, in application order. The format is deliberately hand-editable:
+//
+//	{
+//	  "positive": [
+//	    {"name": "phi+1", "rule": "ov(Authors) >= 2"}
+//	  ],
+//	  "negative": [
+//	    {"name": "phi-1", "rule": "ov(Authors) = 0"}
+//	  ]
+//	}
+type jsonRuleSet struct {
+	Positive []jsonRule `json:"positive"`
+	Negative []jsonRule `json:"negative"`
+}
+
+type jsonRule struct {
+	Name string `json:"name"`
+	Rule string `json:"rule"`
+}
+
+// MarshalRuleSet serializes a rule set as hand-editable JSON of DSL strings
+// (with HTML escaping off, so ">=" stays readable).
+func MarshalRuleSet(rs RuleSet) ([]byte, error) {
+	var out jsonRuleSet
+	for _, r := range rs.Positive {
+		out.Positive = append(out.Positive, jsonRule{Name: r.Name, Rule: dslOf(r)})
+	}
+	for _, r := range rs.Negative {
+		out.Negative = append(out.Negative, jsonRule{Name: r.Name, Rule: dslOf(r)})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// dslOf renders a rule body (without the name prefix Rule.String adds).
+func dslOf(r Rule) string {
+	parts := make([]string, len(r.Predicates))
+	for i, p := range r.Predicates {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " && ")
+}
+
+// LoadRuleSet parses a serialized rule set against a config (the config
+// supplies the schema and the ontology trees `on` predicates bind to).
+func LoadRuleSet(cfg *Config, data []byte) (RuleSet, error) {
+	var in jsonRuleSet
+	if err := json.Unmarshal(data, &in); err != nil {
+		return RuleSet{}, fmt.Errorf("rules: parsing rule set: %w", err)
+	}
+	var rs RuleSet
+	for i, jr := range in.Positive {
+		name := jr.Name
+		if name == "" {
+			name = fmt.Sprintf("pos%d", i+1)
+		}
+		r, err := Parse(cfg, name, Positive, jr.Rule)
+		if err != nil {
+			return RuleSet{}, err
+		}
+		rs.Positive = append(rs.Positive, r)
+	}
+	for i, jr := range in.Negative {
+		name := jr.Name
+		if name == "" {
+			name = fmt.Sprintf("neg%d", i+1)
+		}
+		r, err := Parse(cfg, name, Negative, jr.Rule)
+		if err != nil {
+			return RuleSet{}, err
+		}
+		rs.Negative = append(rs.Negative, r)
+	}
+	if len(rs.Positive) == 0 && len(rs.Negative) == 0 {
+		return RuleSet{}, fmt.Errorf("rules: rule set file contains no rules")
+	}
+	return rs, nil
+}

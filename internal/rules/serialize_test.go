@@ -1,0 +1,95 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRuleSetRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	rs := RuleSet{
+		Positive: []Rule{
+			MustParse(cfg, "phi+1", Positive, "ov(Authors) >= 2"),
+			MustParse(cfg, "phi+2", Positive, "ov(Authors) >= 1 && on(Venue) >= 0.75"),
+		},
+		Negative: []Rule{
+			MustParse(cfg, "phi-1", Negative, "ov(Authors) = 0"),
+			MustParse(cfg, "phi-2", Negative, "ov(Authors) <= 1 && on(Venue) <= 0.25"),
+		},
+	}
+	data, err := MarshalRuleSet(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadRuleSet(cfg, data)
+	if err != nil {
+		t.Fatalf("LoadRuleSet: %v\npayload:\n%s", err, data)
+	}
+	if len(back.Positive) != 2 || len(back.Negative) != 2 {
+		t.Fatalf("rule counts after round trip: %d/%d", len(back.Positive), len(back.Negative))
+	}
+	// Semantics must survive: evaluate all rules on a pair and compare.
+	a := mustRecord(t, cfg, "a", "t", []string{"Nan Tang", "Xu Chu"}, "SIGMOD")
+	b := mustRecord(t, cfg, "b", "t", []string{"Nan Tang"}, "VLDB")
+	for i := range rs.Positive {
+		if rs.Positive[i].Eval(a, b) != back.Positive[i].Eval(a, b) {
+			t.Fatalf("positive rule %d changed semantics", i)
+		}
+	}
+	for i := range rs.Negative {
+		if rs.Negative[i].Eval(a, b) != back.Negative[i].Eval(a, b) {
+			t.Fatalf("negative rule %d changed semantics", i)
+		}
+	}
+	if back.Negative[0].Name != "phi-1" {
+		t.Fatalf("name lost: %q", back.Negative[0].Name)
+	}
+}
+
+func TestLoadRuleSetHandWritten(t *testing.T) {
+	cfg := testConfig()
+	data := []byte(`{
+		"positive": [{"rule": "ov(Authors) >= 2"}],
+		"negative": [{"name": "no-authors", "rule": "ov(Authors) = 0"}]
+	}`)
+	rs, err := LoadRuleSet(cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Positive[0].Name != "pos1" {
+		t.Fatalf("default name = %q", rs.Positive[0].Name)
+	}
+	if rs.Negative[0].Name != "no-authors" {
+		t.Fatalf("explicit name = %q", rs.Negative[0].Name)
+	}
+}
+
+func TestLoadRuleSetErrors(t *testing.T) {
+	cfg := testConfig()
+	cases := []string{
+		`not json`,
+		`{"positive": [{"rule": "bogus(A) >= 1"}]}`,
+		`{}`,
+	}
+	for _, c := range cases {
+		if _, err := LoadRuleSet(cfg, []byte(c)); err == nil {
+			t.Errorf("LoadRuleSet(%q) should fail", c)
+		}
+	}
+}
+
+func TestMarshalEqualsZeroForm(t *testing.T) {
+	cfg := testConfig()
+	rs := RuleSet{Negative: []Rule{MustParse(cfg, "n", Negative, "ov(Authors) = 0")}}
+	data, err := MarshalRuleSet(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "= 0" shorthand serializes as "<= 0", which parses back fine.
+	if !strings.Contains(string(data), "ov(Authors) <= 0") {
+		t.Fatalf("payload:\n%s", data)
+	}
+	if _, err := LoadRuleSet(cfg, data); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+package signature
+
+import (
+	"sort"
+
+	"dime/internal/ontology"
+	"dime/internal/rules"
+	"dime/internal/tokenize"
+)
+
+// Accepts reports whether a new record can be added to this context without
+// invalidating the frozen group-level state. Two things can break:
+//
+//   - a node whose τ is below the frozen τ_min would make Lemma 4.2's node
+//     signatures compare at different depths (similar pairs could stop
+//     sharing signatures — an incompleteness bug);
+//   - a node shallower than the frozen minimum depth would weaken the
+//     dissimilar-side depth bound (provably-dissimilar conclusions could
+//     become wrong — a soundness bug).
+//
+// Token and gram orderings never break: the frozen ordering remains one
+// consistent global order (unseen tokens rank after all seen ones), which is
+// all the prefix lemma needs.
+func (c *Context) Accepts(rec *rules.Record, rs rules.RuleSet) bool {
+	check := func(p rules.Predicate) bool {
+		if p.Fn != rules.Ontology {
+			return true
+		}
+		node := rec.Nodes[p.Attr]
+		if node == nil {
+			return true // nil nodes have no signatures on either side
+		}
+		if similarSide(p) {
+			return ontology.Tau(node.Depth, genThreshold(p)) >= c.tauMinFor(p)
+		}
+		return node.Depth >= c.minDepthFor(p.Attr)
+	}
+	for _, r := range rs.Positive {
+		for _, p := range r.Predicates {
+			if !check(p) {
+				return false
+			}
+		}
+	}
+	for _, r := range rs.Negative {
+		for _, p := range r.Predicates {
+			if !check(p) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Append registers a new record with the context so signature generation can
+// use its cached grams. The caller must have verified Accepts first.
+func (c *Context) Append(rec *rules.Record) {
+	for key := range c.gramCache {
+		c.gramCache[key] = append(c.gramCache[key],
+			appendGrams(rec, key))
+	}
+	c.records = append(c.records, rec)
+}
+
+func appendGrams(rec *rules.Record, key gramKey) []string {
+	return tokenize.QGrams(rec.Joined[key.attr], key.q)
+}
+
+// Add indexes one new record (which must already carry its final Index,
+// equal to the current record count) and returns the candidate pairs the
+// new record forms with existing records, ordered by the partner's index.
+// The completeness guarantee is unchanged: any existing record that could
+// satisfy the rule together with the new one is returned.
+func (ix *PosIndex) Add(ctx *Context, rec *rules.Record) []Candidate {
+	ri := ix.n
+	ix.n++
+	ix.sigCounts = append(ix.sigCounts, 0)
+
+	type predSigs struct {
+		ids  []int32
+		wild bool
+	}
+	perRec := make([]predSigs, len(ix.Rule.Predicates))
+	for pi, p := range ix.Rule.Predicates {
+		pd := &ix.perPred[pi]
+		sigs := ctx.Signatures(p, rec)
+		ix.sigCounts[ri] += len(sigs)
+		kept := make([]int32, 0, len(sigs))
+		wild := false
+		for _, s := range sigs {
+			if s == Universal {
+				wild = true
+				continue
+			}
+			id, ok := pd.ids[s]
+			if !ok {
+				id = int32(len(pd.lists))
+				pd.ids[s] = id
+				pd.lists = append(pd.lists, nil)
+			}
+			kept = append(kept, id)
+		}
+		sortInt32(kept)
+		perRec[pi] = predSigs{ids: kept, wild: wild}
+	}
+
+	// Choose the probe predicate: the one where the new record is not a
+	// wildcard and its signature lists are shortest.
+	probe := -1
+	probeCost := int(^uint(0) >> 1)
+	for pi := range ix.Rule.Predicates {
+		if perRec[pi].wild {
+			continue
+		}
+		cost := 0
+		for _, id := range perRec[pi].ids {
+			cost += len(ix.perPred[pi].lists[id])
+		}
+		cost += len(ix.perPred[pi].wildcards)
+		if cost < probeCost {
+			probe, probeCost = pi, cost
+		}
+	}
+
+	var matched []int
+	if probe < 0 {
+		// Wildcard on every predicate: the new record pairs with everyone.
+		matched = make([]int, ri)
+		for i := range matched {
+			matched[i] = i
+		}
+	} else {
+		seen := make(map[int]struct{})
+		pd := &ix.perPred[probe]
+		for _, id := range perRec[probe].ids {
+			for _, other := range pd.lists[id] {
+				seen[other] = struct{}{}
+			}
+		}
+		for _, w := range pd.wildcards {
+			seen[w] = struct{}{}
+		}
+		matched = make([]int, 0, len(seen))
+		for other := range seen {
+			matched = append(matched, other)
+		}
+		sort.Ints(matched)
+	}
+
+	// Register the new record in every predicate before intersecting so
+	// sharedCount sees it.
+	for pi := range ix.Rule.Predicates {
+		pd := &ix.perPred[pi]
+		pd.sigs = append(pd.sigs, perRec[pi].ids)
+		pd.isWild = append(pd.isWild, perRec[pi].wild)
+		if perRec[pi].wild {
+			pd.wildcards = append(pd.wildcards, ri)
+		}
+		for _, id := range perRec[pi].ids {
+			pd.lists[id] = append(pd.lists[id], ri)
+		}
+	}
+
+	var out []Candidate
+	for _, other := range matched {
+		shared := 0
+		ok := true
+		for pi := range ix.Rule.Predicates {
+			c, pass := ix.perPred[pi].sharedCount(other, ri)
+			if !pass {
+				ok = false
+				break
+			}
+			shared += c
+		}
+		if ok {
+			out = append(out, Candidate{I: other, J: ri, Shared: shared})
+		}
+	}
+	return out
+}
+
+func sortInt32(xs []int32) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

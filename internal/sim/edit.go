@@ -1,0 +1,153 @@
+package sim
+
+// EditDistance returns the Levenshtein distance between a and b, computed
+// over runes with the classic two-row dynamic program in O(|a|·|b|) time and
+// O(min(|a|,|b|)) space.
+func EditDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) > len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	prev := make([]int, len(ra)+1)
+	cur := make([]int, len(ra)+1)
+	for i := range prev {
+		prev[i] = i
+	}
+	for j := 1; j <= len(rb); j++ {
+		cur[0] = j
+		for i := 1; i <= len(ra); i++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[i] = min3(prev[i]+1, cur[i-1]+1, prev[i-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(ra)]
+}
+
+// EditWithin reports whether EditDistance(a, b) ≤ θ, using the banded dynamic
+// program that the paper's cost model describes: O(θ·min(|a|,|b|)) time. It
+// is the verification routine for character-based predicates. θ < 0 always
+// reports false.
+func EditWithin(a, b string, theta int) bool {
+	d, ok := EditDistanceBounded(a, b, theta)
+	return ok && d <= theta
+}
+
+// EditDistanceBounded computes the edit distance if it is ≤ bound, returning
+// (distance, true); otherwise it returns (bound+1, false). The band around
+// the diagonal has width 2·bound+1.
+func EditDistanceBounded(a, b string, bound int) (int, bool) {
+	if bound < 0 {
+		return 0, false
+	}
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) > len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(rb)-len(ra) > bound {
+		return bound + 1, false
+	}
+	if len(ra) == 0 {
+		return len(rb), true
+	}
+	const inf = int(^uint(0) >> 2)
+	n := len(ra)
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for i := 0; i <= n; i++ {
+		if i <= bound {
+			prev[i] = i
+		} else {
+			prev[i] = inf
+		}
+	}
+	for j := 1; j <= len(rb); j++ {
+		lo := j - bound
+		if lo < 1 {
+			lo = 1
+		}
+		hi := j + bound
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			return bound + 1, false
+		}
+		if lo == 1 {
+			if j <= bound {
+				cur[0] = j
+			} else {
+				cur[0] = inf
+			}
+		}
+		if lo > 1 {
+			cur[lo-1] = inf
+		}
+		rowMin := inf
+		for i := lo; i <= hi; i++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			up := inf
+			if i <= j+bound-1 { // prev[i] inside band of row j-1
+				up = prev[i]
+			}
+			diag := prev[i-1]
+			left := cur[i-1]
+			v := diag + cost
+			if up+1 < v {
+				v = up + 1
+			}
+			if left+1 < v {
+				v = left + 1
+			}
+			cur[i] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		if hi < n {
+			cur[hi+1] = inf
+		}
+		if rowMin > bound {
+			return bound + 1, false
+		}
+		prev, cur = cur, prev
+	}
+	if prev[n] > bound {
+		return bound + 1, false
+	}
+	return prev[n], true
+}
+
+// EditSimilarity returns the normalized edit similarity
+// 1 − ED(a, b) / max(|a|, |b|), a value in [0, 1]. Two empty strings have
+// similarity 1.
+func EditSimilarity(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	m := la
+	if lb > m {
+		m = lb
+	}
+	if m == 0 {
+		return 1
+	}
+	return 1 - float64(EditDistance(a, b))/float64(m)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,158 @@
+// Package tokenize provides the tokenizers and global token orderings used by
+// set-based similarity functions and by prefix-signature generation.
+//
+// Signature schemes for set similarity need a single global ordering over all
+// tokens so that the "first k tokens" of any two values are comparable. The
+// usual choice — and the one the DIME paper uses — is increasing document
+// frequency: rare tokens first, which makes prefixes maximally selective.
+package tokenize
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Words splits a value into lower-cased word tokens. Any run of letters or
+// digits is a token; everything else separates tokens. Duplicates are
+// preserved (callers that need sets use Set).
+func Words(v string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range v {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Set returns the distinct tokens of Words(v), order-preserving on first
+// occurrence.
+func Set(v string) []string {
+	return Dedup(Words(v))
+}
+
+// Dedup removes duplicate tokens, keeping first occurrences in order.
+func Dedup(tokens []string) []string {
+	seen := make(map[string]struct{}, len(tokens))
+	out := tokens[:0:0]
+	for _, t := range tokens {
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// QGrams returns the q-grams of s. Strings shorter than q yield a single gram
+// holding the whole string (padded semantics are not needed for the DIME
+// signature scheme; the count lower bound still holds). The empty string
+// yields no grams.
+func QGrams(s string, q int) []string {
+	if q <= 0 {
+		q = 2
+	}
+	r := []rune(s)
+	if len(r) == 0 {
+		return nil
+	}
+	if len(r) <= q {
+		return []string{string(r)}
+	}
+	grams := make([]string, 0, len(r)-q+1)
+	for i := 0; i+q <= len(r); i++ {
+		grams = append(grams, string(r[i:i+q]))
+	}
+	return grams
+}
+
+// Ordering is a global token ordering. Tokens compare first by the recorded
+// rank (lower rank = earlier = rarer) and unknown tokens compare by their
+// literal value after all known tokens, so the ordering is total and
+// deterministic even for tokens never seen while building it.
+type Ordering struct {
+	rank map[string]int
+}
+
+// BuildOrdering constructs a document-frequency ordering from token
+// multisets: each slice is one "document"; a token's document frequency is
+// the number of documents containing it at least once. Ties break
+// lexicographically so the ordering is deterministic.
+func BuildOrdering(docs [][]string) *Ordering {
+	df := make(map[string]int)
+	for _, doc := range docs {
+		seen := make(map[string]struct{}, len(doc))
+		for _, t := range doc {
+			if _, ok := seen[t]; ok {
+				continue
+			}
+			seen[t] = struct{}{}
+			df[t]++
+		}
+	}
+	tokens := make([]string, 0, len(df))
+	for t := range df {
+		tokens = append(tokens, t)
+	}
+	sort.Slice(tokens, func(i, j int) bool {
+		if df[tokens[i]] != df[tokens[j]] {
+			return df[tokens[i]] < df[tokens[j]]
+		}
+		return tokens[i] < tokens[j]
+	})
+	o := &Ordering{rank: make(map[string]int, len(tokens))}
+	for i, t := range tokens {
+		o.rank[t] = i
+	}
+	return o
+}
+
+// Rank returns the rank of a token and whether the token was seen while
+// building the ordering.
+func (o *Ordering) Rank(t string) (int, bool) {
+	r, ok := o.rank[t]
+	return r, ok
+}
+
+// Less reports whether token a precedes token b in the global ordering.
+func (o *Ordering) Less(a, b string) bool {
+	ra, oka := o.rank[a]
+	rb, okb := o.rank[b]
+	switch {
+	case oka && okb:
+		if ra != rb {
+			return ra < rb
+		}
+		return a < b
+	case oka:
+		return true // known tokens precede unknown ones
+	case okb:
+		return false
+	default:
+		return a < b
+	}
+}
+
+// Sort sorts tokens in place by the global ordering and returns the slice.
+func (o *Ordering) Sort(tokens []string) []string {
+	sort.Slice(tokens, func(i, j int) bool { return o.Less(tokens[i], tokens[j]) })
+	return tokens
+}
+
+// Sorted returns a new slice holding tokens sorted by the global ordering.
+func (o *Ordering) Sorted(tokens []string) []string {
+	out := append([]string(nil), tokens...)
+	return o.Sort(out)
+}

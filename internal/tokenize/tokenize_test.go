@@ -1,0 +1,145 @@
+package tokenize
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestWords(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"  multiple   spaces ", []string{"multiple", "spaces"}},
+		{"", nil},
+		{"a-b_c", []string{"a", "b", "c"}},
+		{"WiFi 802.11n", []string{"wifi", "802", "11n"}},
+		{"ünïcode Tökens", []string{"ünïcode", "tökens"}},
+	}
+	for _, c := range cases {
+		if got := Words(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Words(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSetDedups(t *testing.T) {
+	got := Set("the cat and the hat")
+	want := []string{"the", "cat", "and", "hat"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Set = %v, want %v", got, want)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	got := Dedup([]string{"a", "b", "a", "c", "b"})
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("Dedup = %v", got)
+	}
+	if Dedup(nil) != nil {
+		// Dedup(nil) returns an empty non-nil or nil slice; both are fine,
+		// but it must be empty.
+		if len(Dedup(nil)) != 0 {
+			t.Fatal("Dedup(nil) should be empty")
+		}
+	}
+}
+
+func TestQGrams(t *testing.T) {
+	if got := QGrams("abcd", 2); !reflect.DeepEqual(got, []string{"ab", "bc", "cd"}) {
+		t.Fatalf("QGrams = %v", got)
+	}
+	if got := QGrams("ab", 2); !reflect.DeepEqual(got, []string{"ab"}) {
+		t.Fatalf("short QGrams = %v", got)
+	}
+	if got := QGrams("a", 2); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("tiny QGrams = %v", got)
+	}
+	if got := QGrams("", 2); got != nil {
+		t.Fatalf("empty QGrams = %v", got)
+	}
+	if got := QGrams("abc", 0); !reflect.DeepEqual(got, []string{"ab", "bc"}) {
+		t.Fatalf("q<=0 should default to 2, got %v", got)
+	}
+}
+
+func TestQGramsUnicode(t *testing.T) {
+	got := QGrams("日本語", 2)
+	want := []string{"日本", "本語"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("QGrams unicode = %v, want %v", got, want)
+	}
+}
+
+func TestBuildOrderingByDocumentFrequency(t *testing.T) {
+	docs := [][]string{
+		{"rare", "common"},
+		{"common", "mid"},
+		{"common", "mid"},
+	}
+	o := BuildOrdering(docs)
+	// rare (df 1) < mid (df 2) < common (df 3)
+	if !o.Less("rare", "mid") || !o.Less("mid", "common") {
+		t.Fatal("ordering should be ascending document frequency")
+	}
+	if r, ok := o.Rank("rare"); !ok || r != 0 {
+		t.Fatalf("Rank(rare) = %d, %v", r, ok)
+	}
+	if _, ok := o.Rank("unseen"); ok {
+		t.Fatal("unseen token should have no rank")
+	}
+}
+
+func TestOrderingUnknownTokens(t *testing.T) {
+	o := BuildOrdering([][]string{{"a"}})
+	if !o.Less("a", "zzz") {
+		t.Fatal("known tokens should precede unknown")
+	}
+	if o.Less("zzz", "a") {
+		t.Fatal("unknown should not precede known")
+	}
+	if !o.Less("unseen1", "unseen2") {
+		t.Fatal("unknown tokens should compare lexicographically")
+	}
+}
+
+func TestOrderingDuplicatesCountOncePerDoc(t *testing.T) {
+	docs := [][]string{
+		{"x", "x", "x"}, // df(x) = 1
+		{"y"},           // df(y) = 1
+		{"y"},           // df(y) = 2
+	}
+	o := BuildOrdering(docs)
+	if !o.Less("x", "y") {
+		t.Fatal("x (df 1) should precede y (df 2)")
+	}
+}
+
+func TestSortedDoesNotMutate(t *testing.T) {
+	o := BuildOrdering([][]string{{"b"}, {"b"}, {"a"}})
+	in := []string{"b", "a"}
+	out := o.Sorted(in)
+	if !reflect.DeepEqual(in, []string{"b", "a"}) {
+		t.Fatal("Sorted mutated its input")
+	}
+	if !reflect.DeepEqual(out, []string{"a", "b"}) {
+		t.Fatalf("Sorted = %v", out)
+	}
+}
+
+// Property: the ordering is a strict weak order — irreflexive and
+// antisymmetric on distinct tokens.
+func TestOrderingTotalProperty(t *testing.T) {
+	o := BuildOrdering([][]string{{"a", "b"}, {"b", "c"}, {"c"}})
+	f := func(x, y string) bool {
+		if x == y {
+			return !o.Less(x, y)
+		}
+		return o.Less(x, y) != o.Less(y, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
