@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test lint check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+lint:
+	$(GO) run ./cmd/dimelint ./...
+
+# Full verification gate: build, vet, dimelint, race tests, fuzz smoke.
+# Override the fuzz budget with FUZZTIME=30s etc.
+check:
+	./scripts/check.sh

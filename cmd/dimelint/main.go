@@ -1,0 +1,78 @@
+// Command dimelint runs DIME's static-analysis suite (internal/lint) over
+// the module and reports violations of the codebase's correctness
+// invariants with file:line diagnostics. It exits non-zero when it finds
+// anything, so `make check` can gate on it.
+//
+// Usage:
+//
+//	dimelint [flags] [patterns...]
+//
+// Patterns default to ./... (the whole module). Findings are suppressed
+// with an in-source comment on the offending line (or the line above):
+//
+//	//lint:ignore <analyzer|all> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dime/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	typeErrors := flag.Bool("type-errors", false, "also print type-check errors (findings are best-effort when present)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dimelint [flags] [patterns...]\n\npatterns default to ./...; flags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-22s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.Load(cwd, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if len(pkgs) == 0 {
+		// A typo'd pattern must not let a CI gate pass vacuously.
+		fatal(fmt.Errorf("no packages match %v", flag.Args()))
+	}
+	if *typeErrors {
+		for _, pkg := range pkgs {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "dimelint: %s: type error: %v\n", pkg.Path, terr)
+			}
+		}
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dimelint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dimelint: %v\n", err)
+	os.Exit(2)
+}

@@ -1,0 +1,71 @@
+package dime_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dime"
+)
+
+// shuffledFigure1 rebuilds the Figure 1 group with its entities inserted in
+// a seed-determined order. Insertion order is the only source of
+// nondeterminism a caller can introduce through the public API, so it is the
+// axis the regression test perturbs.
+func shuffledFigure1(t *testing.T, seed int64) (*dime.Group, dime.Options) {
+	t.Helper()
+	g, opts := buildFigure1(t)
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(g.Entities))
+	shuffled := dime.NewGroup(g.Name, g.Schema)
+	for _, i := range perm {
+		if err := shuffled.Add(g.Entities[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return shuffled, opts
+}
+
+// TestDiscoverDeterministic is the regression gate behind dimelint's
+// mapiter-determinism analyzer: Discover must produce byte-identical
+// scrollbar levels run-to-run on the same group, and the level contents must
+// not depend on entity insertion order. A map iteration leaking into result
+// assembly is exactly the bug that would break this.
+func TestDiscoverDeterministic(t *testing.T) {
+	canonical, opts := buildFigure1(t)
+	want, err := dime.Discover(canonical, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Levels) == 0 {
+		t.Fatal("no scrollbar levels produced")
+	}
+
+	for seed := int64(1); seed <= 5; seed++ {
+		g, opts := shuffledFigure1(t, seed)
+
+		first, err := dime.Discover(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := dime.Discover(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(first.Levels) != len(second.Levels) {
+			t.Fatalf("seed %d: level count changed between runs: %d vs %d",
+				seed, len(first.Levels), len(second.Levels))
+		}
+		for li := range first.Levels {
+			a, b := first.MisCategorizedIDs(li), second.MisCategorizedIDs(li)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("seed %d level %d: repeated run diverged: %v vs %v", seed, li, a, b)
+			}
+			// Insertion order must not leak into the discovered set either.
+			if w := want.MisCategorizedIDs(li); !reflect.DeepEqual(a, w) {
+				t.Fatalf("seed %d level %d: shuffled group found %v, canonical order found %v",
+					seed, li, a, w)
+			}
+		}
+	}
+}

@@ -163,6 +163,7 @@ func RankBySeparability(profiles []AttributeProfile) []AttributeProfile {
 			return false
 		case math.IsNaN(sj):
 			return true
+		//lint:ignore float-threshold sort comparators need a strict weak order; epsilon equality is not transitive
 		case si != sj:
 			return si > sj
 		default:

@@ -7,6 +7,7 @@ import (
 	"dime/internal/datagen"
 	"dime/internal/fixtures"
 	"dime/internal/rules"
+	"dime/internal/sim"
 )
 
 func TestProfileFigure1(t *testing.T) {
@@ -33,11 +34,11 @@ func TestProfileFigure1(t *testing.T) {
 	if title.SuggestedMode != rules.WordsMode {
 		t.Fatal("Title should suggest word tokens")
 	}
-	if title.DistinctRatio != 1 {
+	if !sim.Eq(title.DistinctRatio, 1) {
 		t.Fatalf("titles are unique; distinct ratio = %v", title.DistinctRatio)
 	}
 	venue := byName["Venue"]
-	if venue.Coverage != 1 {
+	if !sim.Eq(venue.Coverage, 1) {
 		t.Fatalf("venue coverage = %v", venue.Coverage)
 	}
 }

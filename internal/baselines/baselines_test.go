@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dime/internal/fixtures"
+	"dime/internal/sim"
 )
 
 func TestFeaturesShapeAndRange(t *testing.T) {
@@ -42,7 +43,7 @@ func TestFeaturesIdentityPair(t *testing.T) {
 	}
 	f := Features(cfg, recs[0], recs[0])
 	for k, v := range f {
-		if v != 1 {
+		if !sim.Eq(v, 1) {
 			t.Fatalf("self-pair feature %d = %v, want 1", k, v)
 		}
 	}

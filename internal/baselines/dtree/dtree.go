@@ -113,6 +113,7 @@ func (t *Tree) build(X [][]float64, y []bool, idx []int, depth int) *node {
 		}
 		sort.Float64s(vals)
 		for k := 1; k < len(vals); k++ {
+			//lint:ignore float-threshold dedup of sorted copies; only bit-identical duplicates must collapse
 			if vals[k] == vals[k-1] {
 				continue
 			}
@@ -168,6 +169,7 @@ func (t *Tree) Predict(a, b *rules.Record) bool {
 	x := baselines.Features(t.opts.Config, a, b)
 	n := t.root
 	for !n.isLeaf {
+		//lint:ignore float-threshold prediction must mirror the training split exactly; thresholds are midpoints between observed values
 		if x[n.feature] <= n.threshold {
 			n = n.left
 		} else {

@@ -18,6 +18,7 @@ import (
 
 	"dime/internal/rulegen"
 	"dime/internal/rules"
+	"dime/internal/sim"
 )
 
 // Structure is an expert-provided rule skeleton: the predicates' attributes
@@ -142,9 +143,11 @@ func Fit(opts Options, structures []Structure, examples []rulegen.Example, kind 
 			}
 			all := true
 			for pj, p := range rule.Predicates {
-				ok := sims[ei][pj] >= p.Threshold
+				// Mirror rules.Predicate.Eval's epsilon-tolerant comparisons
+				// so fitted thresholds reproduce under the real evaluator.
+				ok := sim.AtLeast(sims[ei][pj], p.Threshold)
 				if kind == rules.Negative {
-					ok = sims[ei][pj] <= p.Threshold
+					ok = sim.AtMost(sims[ei][pj], p.Threshold)
 				}
 				if !ok {
 					all = false
@@ -214,6 +217,7 @@ func candidateThresholds(col int, sims [][]float64, examples []rulegen.Example, 
 		}
 		dedup := thinned[:0]
 		for i, v := range thinned {
+			//lint:ignore float-threshold dedup of sorted copies; only bit-identical duplicates must collapse
 			if i == 0 || v != dedup[len(dedup)-1] {
 				dedup = append(dedup, v)
 			}

@@ -235,7 +235,7 @@ func siblingsOf(c *AmazonCorpus, categories []string, cat string, near bool) []s
 }
 
 func (p *product) toEntity() *entity.Entity {
-	e, err := entity.NewEntity(AmazonSchema, p.asin, [][]string{
+	return entity.MustNewEntity(AmazonSchema, p.asin, [][]string{
 		{p.asin},
 		{p.title},
 		{p.brand},
@@ -245,10 +245,6 @@ func (p *product) toEntity() *entity.Entity {
 		p.buyAfterViewing,
 		{p.description},
 	})
-	if err != nil {
-		panic(err)
-	}
-	return e
 }
 
 // Descriptions extracts the tokenized description of every entity across

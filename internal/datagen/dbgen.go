@@ -83,16 +83,12 @@ func DBGen(opts DBGenOptions) *entity.Group {
 				name = perturb(rng, base)
 			}
 			id := fmt.Sprintf("r%06d", seq)
-			e, err := entity.NewEntity(DBGenSchema, id, [][]string{
+			g.MustAdd(entity.MustNewEntity(DBGenSchema, id, [][]string{
 				{name},
 				clusterTags,
 				{city},
 				{code},
-			})
-			if err != nil {
-				panic(err)
-			}
-			g.MustAdd(e)
+			}))
 			if foreign {
 				g.MarkMisCategorized(id)
 			}

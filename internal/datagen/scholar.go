@@ -137,7 +137,7 @@ func Scholar(opts ScholarOptions) *entity.Group {
 	add := func(title string, authors []string, venue string, mis bool) {
 		seq++
 		id := fmt.Sprintf("p%04d", seq)
-		e, err := entity.NewEntity(ScholarSchema, id, [][]string{
+		g.MustAdd(entity.MustNewEntity(ScholarSchema, id, [][]string{
 			{title},
 			authors,
 			{fmt.Sprintf("%d", 1995+rng.Intn(25))},
@@ -146,11 +146,7 @@ func Scholar(opts ScholarOptions) *entity.Group {
 			{fmt.Sprintf("%d", 1+rng.Intn(12))},
 			{fmt.Sprintf("%d-%d", 1+rng.Intn(400), 401+rng.Intn(400))},
 			{pick(rng, []string{"ACM", "IEEE", "Springer", "Elsevier", "VLDB Endowment"})},
-		})
-		if err != nil {
-			panic(err)
-		}
-		g.MustAdd(e)
+		}))
 		if mis {
 			g.MarkMisCategorized(id)
 		}

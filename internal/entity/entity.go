@@ -111,6 +111,16 @@ func NewEntity(schema *Schema, id string, values [][]string) (*Entity, error) {
 	return e, nil
 }
 
+// MustNewEntity is NewEntity that panics on error, for generators, fixtures
+// and tests whose inputs are statically shaped.
+func MustNewEntity(schema *Schema, id string, values [][]string) *Entity {
+	e, err := NewEntity(schema, id, values)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
 // Value returns the value list of attribute i. Out-of-range indexes yield nil.
 func (e *Entity) Value(i int) []string {
 	if i < 0 || i >= len(e.Values) {

@@ -20,13 +20,9 @@ var ScholarSchema = entity.MustSchema("Title", "Authors", "Venue")
 func Figure1Group() *entity.Group {
 	g := entity.NewGroup("Nan Tang", ScholarSchema)
 	add := func(id, title string, authors []string, venue string) {
-		e, err := entity.NewEntity(ScholarSchema, id, [][]string{
+		g.MustAdd(entity.MustNewEntity(ScholarSchema, id, [][]string{
 			{title}, authors, {venue},
-		})
-		if err != nil {
-			panic(err)
-		}
-		g.MustAdd(e)
+		}))
 	}
 	add("e1", "KATARA: A data cleaning system powered by knowledge bases and crowdsourcing",
 		[]string{"Xu Chu", "John Morcos", "Ihab F. Ilyas", "Mourad Ouzzani", "Paolo Papotti", "Nan Tang"},

@@ -1,0 +1,12 @@
+package lint
+
+// All returns the full analyzer suite in a stable order.
+func All() []Analyzer {
+	return []Analyzer{
+		MapIter{},
+		FloatCmp{},
+		ErrCheck{},
+		Concurrency{},
+		PanicFree{},
+	}
+}

@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Concurrency is the mutex-copy/goroutine-capture analyzer guarding the
+// fan-out code paths (internal/core/batch.go and friends). It flags
+//
+//   - function parameters, results and receivers whose type is a struct
+//     containing a sync.Mutex / RWMutex / WaitGroup / Once / Cond by value
+//     (copying one silently forks the lock state), and
+//   - `go func() { ... }()` statements whose closure captures an enclosing
+//     loop variable instead of receiving it as an argument. Go ≥ 1.22 makes
+//     loop variables per-iteration, but fan-out code in this repo passes
+//     indexes explicitly so the data flow is auditable and the code stays
+//     correct under earlier toolchains.
+type Concurrency struct{}
+
+// Name implements Analyzer.
+func (Concurrency) Name() string { return "mutex-copy" }
+
+// Doc implements Analyzer.
+func (Concurrency) Doc() string {
+	return "sync primitives passed by value, and goroutine closures capturing loop variables"
+}
+
+// Run implements Analyzer.
+func (c Concurrency) Run(pass *Pass) {
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				c.checkSignature(pass, n.Recv, n.Type)
+			case *ast.FuncLit:
+				c.checkSignature(pass, nil, n.Type)
+			}
+			return true
+		})
+		c.checkGoCaptures(pass, f)
+	}
+}
+
+// checkSignature flags by-value lock-carrying params, results and receivers.
+func (c Concurrency) checkSignature(pass *Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	lists := []*ast.FieldList{recv, ft.Params, ft.Results}
+	for _, list := range lists {
+		if list == nil {
+			continue
+		}
+		for _, field := range list.List {
+			t := pass.Info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if name := lockIn(t, map[types.Type]bool{}); name != "" {
+				pass.Reportf(field.Type.Pos(), "%s passed by value copies its %s; use a pointer", types.TypeString(t, types.RelativeTo(pass.Pkg.Types)), name)
+			}
+		}
+	}
+}
+
+// lockIn returns the name of a sync primitive held by value inside t
+// (recursively through struct fields), or "".
+func lockIn(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+				return "sync." + obj.Name()
+			}
+		}
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if name := lockIn(st.Field(i).Type(), seen); name != "" {
+			return name
+		}
+	}
+	return ""
+}
+
+// checkGoCaptures flags `go` closures that use an enclosing loop variable.
+func (c Concurrency) checkGoCaptures(pass *Pass, f *ast.File) {
+	// loopVars maps each loop-variable object to true while its loop is on
+	// the traversal stack; a manual stack walk keeps the scoping exact.
+	var walk func(n ast.Node, loopVars map[types.Object]bool)
+	walk = func(n ast.Node, loopVars map[types.Object]bool) {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			inner := extendLoopVars(pass, loopVars, n.Key, n.Value)
+			walkChildren(n.Body, func(ch ast.Node) { walk(ch, inner) })
+			return
+		case *ast.ForStmt:
+			var idents []ast.Expr
+			if init, ok := n.Init.(*ast.AssignStmt); ok {
+				idents = init.Lhs
+			}
+			inner := extendLoopVars(pass, loopVars, idents...)
+			walkChildren(n.Body, func(ch ast.Node) { walk(ch, inner) })
+			if n.Cond != nil {
+				walk(n.Cond, loopVars)
+			}
+			return
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok && len(loopVars) > 0 {
+				c.reportCaptures(pass, n, lit, loopVars)
+			}
+			// Arguments evaluate in the spawning goroutine; only the closure
+			// body is a capture hazard.
+			for _, arg := range n.Call.Args {
+				walk(arg, loopVars)
+			}
+			return
+		}
+		walkChildren(n, func(ch ast.Node) { walk(ch, loopVars) })
+	}
+	walk(f, map[types.Object]bool{})
+}
+
+// reportCaptures reports each loop variable the closure body references.
+func (c Concurrency) reportCaptures(pass *Pass, g *ast.GoStmt, lit *ast.FuncLit, loopVars map[types.Object]bool) {
+	reported := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj != nil && loopVars[obj] && !reported[obj] {
+			reported[obj] = true
+			pass.Reportf(id.Pos(), "goroutine closure captures loop variable %q; pass it as an argument instead", id.Name)
+		}
+		return true
+	})
+}
+
+// extendLoopVars returns loopVars plus the objects defined by the given
+// loop-header expressions.
+func extendLoopVars(pass *Pass, loopVars map[types.Object]bool, exprs ...ast.Expr) map[types.Object]bool {
+	inner := make(map[types.Object]bool, len(loopVars)+len(exprs))
+	for k := range loopVars {
+		inner[k] = true
+	}
+	for _, e := range exprs {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				inner[obj] = true
+			}
+		}
+	}
+	return inner
+}
+
+// walkChildren visits the direct children of n.
+func walkChildren(n ast.Node, visit func(ast.Node)) {
+	if n == nil {
+		return
+	}
+	first := true
+	ast.Inspect(n, func(ch ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if ch != nil {
+			visit(ch)
+		}
+		return false
+	})
+}

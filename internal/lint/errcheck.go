@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck is the errcheck-lite analyzer: it flags calls to this module's
+// own error-returning functions (rules.Parse, entity.NewEntity, the readers
+// and writers behind dime's IO surface, ...) whose error result is silently
+// dropped — a bare expression statement, or a `go` / `defer` of such a
+// call. Assigning the error to `_` is the explicit, visible opt-out and is
+// not flagged. Standard-library calls are out of scope: the module's own
+// contracts are what DIME's correctness rests on.
+type ErrCheck struct{}
+
+// Name implements Analyzer.
+func (ErrCheck) Name() string { return "errcheck-lite" }
+
+// Doc implements Analyzer.
+func (ErrCheck) Doc() string {
+	return "dropped error results from this module's own functions"
+}
+
+// Run implements Analyzer.
+func (ErrCheck) Run(pass *Pass) {
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = stmt.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = stmt.Call
+			case *ast.DeferStmt:
+				call = stmt.Call
+			}
+			if call == nil {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || !pass.InModule(fn) {
+				return true
+			}
+			if _, ok := errorResult(fn); ok {
+				pass.Reportf(call.Pos(), "error result of %s.%s dropped; handle it or assign to _ explicitly", fn.Pkg().Name(), fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves the called function object, looking through method
+// values and package selectors. Returns nil for builtins, type conversions
+// and indirect calls through function values.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// errorResult reports whether fn returns an error and at which result index.
+func errorResult(fn *types.Func) (int, bool) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return 0, false
+	}
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

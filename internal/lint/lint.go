@@ -1,0 +1,210 @@
+// Package lint is a stdlib-only static-analysis framework (go/parser +
+// go/ast + go/types, no x/tools) that enforces DIME's code-level correctness
+// invariants: deterministic result emission, epsilon-safe float threshold
+// comparisons, no silently dropped errors from this module's own functions,
+// lock-copy and goroutine-capture hygiene in fan-out code, and panic-free
+// library paths.
+//
+// The framework walks every package in the module (see Load), runs each
+// Analyzer over the type-checked syntax, and reports file:line diagnostics.
+// A finding can be suppressed with a comment on the same line or the line
+// directly above it:
+//
+//	//lint:ignore <analyzer|all> <reason>
+//
+// The reason is mandatory; an ignore directive without one is itself a
+// diagnostic. cmd/dimelint is the CLI front end.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned at a file:line:col.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer names the analyzer that produced it.
+	Analyzer string
+	// Message describes the violation and the expected fix.
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one lint pass. Run inspects the package via the Pass and
+// reports findings through Pass.Reportf.
+type Analyzer interface {
+	// Name is the short identifier used in diagnostics and ignore directives.
+	Name() string
+	// Doc is a one-line description for -list output.
+	Doc() string
+	// Run analyzes one package.
+	Run(pass *Pass)
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	// Fset translates token positions.
+	Fset *token.FileSet
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// Info holds the package's type-check results (possibly partial if the
+	// package had type errors).
+	Info *types.Info
+
+	analyzer string
+	sink     *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InModule reports whether obj is declared in this module (as opposed to the
+// standard library or the universe scope).
+func (p *Pass) InModule(obj types.Object) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == p.Pkg.Module || strings.HasPrefix(path, p.Pkg.Module+"/")
+}
+
+// IsTestFile reports whether the file holding pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Run executes the analyzers over the packages, applies //lint:ignore
+// suppression, and returns the surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		ignores, malformed := collectIgnores(pkg)
+		all = append(all, malformed...)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:     pkg.Fset,
+				Pkg:      pkg,
+				Info:     pkg.Info,
+				analyzer: a.Name(),
+				sink:     &raw,
+			}
+			a.Run(pass)
+		}
+		for _, d := range raw {
+			if !ignores.suppresses(d) {
+				all = append(all, d)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}
+
+// ignoreSet maps file -> line -> analyzer names suppressed at that line
+// ("all" suppresses every analyzer).
+type ignoreSet map[string]map[int][]string
+
+func (s ignoreSet) suppresses(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, name := range lines[d.Pos.Line] {
+		if name == "all" || name == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores scans every comment in the package for lint:ignore
+// directives. A directive suppresses findings on its own line; a directive
+// that is the only thing on its line suppresses the line below instead.
+// Malformed directives (no analyzer name or no reason) are returned as
+// diagnostics so they cannot silently disable nothing.
+func collectIgnores(pkg *Package) (ignoreSet, []Diagnostic) {
+	set := ignoreSet{}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer|all> <reason>\"",
+					})
+					continue
+				}
+				line := pos.Line
+				if standsAlone(pkg.Fset, f, c) {
+					line++
+				}
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					set[pos.Filename] = byLine
+				}
+				byLine[line] = append(byLine[line], fields[0])
+			}
+		}
+	}
+	return set, bad
+}
+
+// standsAlone reports whether the comment is the first token on its line
+// (i.e. not trailing a statement).
+func standsAlone(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	cpos := fset.Position(c.Pos())
+	alone := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !alone {
+			return false
+		}
+		if n.Pos() == token.NoPos {
+			return true
+		}
+		p := fset.Position(n.Pos())
+		if _, isFile := n.(*ast.File); !isFile && p.Line == cpos.Line && p.Column < cpos.Column {
+			alone = false
+			return false
+		}
+		return true
+	})
+	return alone
+}

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DefaultResultPackages lists the package-path suffixes whose emission order
+// reaches users: the scrollbar levels in internal/core, rule evaluation and
+// serialization in internal/rules, profiling output in internal/analysis,
+// plus the entity and signature packages whose ID lists feed those paths.
+var DefaultResultPackages = []string{
+	"internal/core",
+	"internal/rules",
+	"internal/analysis",
+	"internal/entity",
+	"internal/signature",
+}
+
+// MapIter is the mapiter-determinism analyzer: in result-producing packages
+// it flags `range` over a map whose body appends to a slice or writes
+// output, unless a later statement in the same block sorts the collected
+// slice. Go map iteration order is random per run, so an unsorted
+// map-ranged append makes the scrollbar (Level.EntityIDs and friends)
+// nondeterministic across identical runs.
+type MapIter struct {
+	// Packages holds package-path suffixes to analyze; nil means
+	// DefaultResultPackages. The module root package is always analyzed.
+	Packages []string
+}
+
+// Name implements Analyzer.
+func (MapIter) Name() string { return "mapiter-determinism" }
+
+// Doc implements Analyzer.
+func (MapIter) Doc() string {
+	return "range over a map that appends to a slice or writes output without a following sort, in result-producing packages"
+}
+
+// Run implements Analyzer.
+func (a MapIter) Run(pass *Pass) {
+	pkgs := a.Packages
+	if pkgs == nil {
+		pkgs = DefaultResultPackages
+	}
+	path := strings.TrimSuffix(pass.Pkg.Path, ".test")
+	match := path == pass.Pkg.Module // module root emits results too
+	for _, suffix := range pkgs {
+		if strings.HasSuffix(path, suffix) {
+			match = true
+		}
+	}
+	if !match {
+		return
+	}
+	for _, f := range pass.Files() {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				rng, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMapType(pass.Info.TypeOf(rng.X)) {
+					continue
+				}
+				a.checkRange(pass, rng, block.List[i+1:])
+			}
+			return true
+		})
+	}
+}
+
+// checkRange inspects one map-range statement. rest holds the statements
+// following it in the enclosing block, where a redeeming sort may appear.
+func (a MapIter) checkRange(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	keyObj := rangeKeyObject(pass, rng)
+	appended := map[types.Object]bool{}
+	writes := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && pass.Info.Uses[id] == types.Universe.Lookup("append") {
+					if len(n.Lhs) > 0 {
+						if indexedByKey(pass, n.Lhs[0], keyObj) {
+							continue // m[k] = append(m[k], ...) is per-key, order-independent
+						}
+						if obj := rootObject(pass, n.Lhs[0]); obj != nil {
+							appended[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isOutputCall(pass, n) {
+				writes = true
+			}
+		}
+		return true
+	})
+	if writes {
+		pass.Reportf(rng.Pos(), "map iteration writes output in random order; collect and sort keys first")
+		return
+	}
+	if len(appended) == 0 {
+		return
+	}
+	for obj := range appended {
+		if !sortedLater(pass, obj, rest) {
+			pass.Reportf(rng.Pos(), "map iteration appends to %q in random order without a following sort; sort the slice (or range over sorted keys) before emitting results", obj.Name())
+		}
+	}
+}
+
+// sortedLater reports whether any statement in rest passes obj to a
+// sort.* / slices.* call (directly or nested inside the statement).
+func sortedLater(pass *Pass, obj types.Object, rest []ast.Stmt) bool {
+	found := false
+	for _, stmt := range rest {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok || (pkgID.Name != "sort" && pkgID.Name != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if rootObject(pass, arg) == obj {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// rangeKeyObject returns the object of the range statement's key variable,
+// or nil.
+func rangeKeyObject(pass *Pass, rng *ast.RangeStmt) types.Object {
+	id, ok := rng.Key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id] // `for k = range` with a pre-declared variable
+}
+
+// indexedByKey reports whether e is an index expression whose index is the
+// range key (writes to m[k] are per-key and therefore order-independent).
+func indexedByKey(pass *Pass, e ast.Expr, keyObj types.Object) bool {
+	if keyObj == nil {
+		return false
+	}
+	ix, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ix.Index.(*ast.Ident)
+	return ok && pass.Info.Uses[id] == keyObj
+}
+
+// rootObject resolves the base identifier of an expression (x, x.f, x[i],
+// &x, x.f[i].g ...) to its object.
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isOutputCall reports calls that emit user-visible output: fmt.Print*/
+// fmt.Fprint* and Write/WriteString methods.
+func isOutputCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if pkgID, ok := sel.X.(*ast.Ident); ok && pkgID.Name == "fmt" {
+		if obj, ok := pass.Info.Uses[pkgID].(*types.PkgName); ok && obj.Imported().Path() == "fmt" {
+			return strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint")
+		}
+	}
+	return sel.Sel.Name == "Write" || sel.Sel.Name == "WriteString"
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// Files returns the package's parsed files (helper so analyzers read
+// pass.Files() uniformly).
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicFree is the panic-in-library analyzer: library code must return
+// errors, not panic — a panic inside Discover or a generator takes down a
+// whole serving process. `panic` is allowed only inside Must*-named
+// constructors (whose contract is to panic on bad static input) and in
+// _test.go files.
+type PanicFree struct{}
+
+// Name implements Analyzer.
+func (PanicFree) Name() string { return "panic-in-library" }
+
+// Doc implements Analyzer.
+func (PanicFree) Doc() string {
+	return "panic outside Must* constructors and test files"
+}
+
+// Run implements Analyzer.
+func (PanicFree) Run(pass *Pass) {
+	for _, f := range pass.Files() {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasPrefix(fd.Name.Name, "Must") {
+				continue // Must* constructors panic by contract, closures included
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" || pass.Info.Uses[id] != types.Universe.Lookup("panic") {
+					return true
+				}
+				pass.Reportf(call.Pos(), "panic in library function %s; return an error or move the panic into a Must* constructor", fd.Name.Name)
+				return true
+			})
+		}
+	}
+}

@@ -66,6 +66,7 @@ func (t *Tree) LookupApprox(value string, minSim float64) *Node {
 		s := sim.EditSimilarity(norm, Normalize(n.Label))
 		if s > bestSim {
 			best, bestSim = n, s
+			//lint:ignore float-threshold deterministic tie-break on bit-identical scores; epsilon would make "ties" order-dependent
 		} else if s == bestSim && best != nil && n.String() < best.String() {
 			best = n
 		}

@@ -3,6 +3,8 @@ package ontology
 import (
 	"encoding/json"
 	"testing"
+
+	"dime/internal/sim"
 )
 
 func TestLookupApproxExact(t *testing.T) {
@@ -93,10 +95,10 @@ func TestTreeJSONRoundTrip(t *testing.T) {
 		t.Fatalf("size %d != %d", back.Size(), tr.Size())
 	}
 	// Similarities must survive the round trip.
-	if got := back.ValueSimilarity("SIGMOD", "VLDB"); got != 0.75 {
+	if got := back.ValueSimilarity("SIGMOD", "VLDB"); !sim.Eq(got, 0.75) {
 		t.Fatalf("sim after round trip = %v", got)
 	}
-	if got := back.ValueSimilarity("SIGMOD", "RSC Advances"); got != 0.25 {
+	if got := back.ValueSimilarity("SIGMOD", "RSC Advances"); !sim.Eq(got, 0.25) {
 		t.Fatalf("cross-field sim after round trip = %v", got)
 	}
 }
@@ -118,7 +120,7 @@ func TestLoadTreeHandWritten(t *testing.T) {
 	if tr.Lookup("Router") == nil || tr.Lookup("Router").Depth != 3 {
 		t.Fatalf("hand-written tree lookup broken: %v", tr.Lookup("Router"))
 	}
-	if got := tr.ValueSimilarity("Router", "Adapter"); got != 2.0/3 {
+	if got := tr.ValueSimilarity("Router", "Adapter"); !sim.Eq(got, 2.0/3) {
 		t.Fatalf("sibling sim = %v", got)
 	}
 }

@@ -3,6 +3,8 @@ package ontology
 import (
 	"math"
 	"testing"
+
+	"dime/internal/sim"
 )
 
 // paperTree builds the fragment of Figure 4 used by the paper's examples.
@@ -87,7 +89,7 @@ func TestSimilarityPaperExample(t *testing.T) {
 	if got := tr.ValueSimilarity("SIGMOD", "RSC Advances"); math.Abs(got-0.25) > 1e-12 {
 		t.Fatalf("sim(SIGMOD, RSC Advances) = %v, want 0.25", got)
 	}
-	if got := tr.ValueSimilarity("SIGMOD", "SIGMOD"); got != 1 {
+	if got := tr.ValueSimilarity("SIGMOD", "SIGMOD"); !sim.Eq(got, 1) {
 		t.Fatalf("self similarity = %v", got)
 	}
 	if got := tr.ValueSimilarity("SIGMOD", "not-a-venue"); got != 0 {
@@ -161,7 +163,7 @@ func TestNodeSignatureLemma(t *testing.T) {
 		tmin := TauMin(nodes, theta)
 		for _, a := range nodes {
 			for _, b := range nodes {
-				if tr.Similarity(a, b) >= theta {
+				if sim.AtLeast(tr.Similarity(a, b), theta) {
 					sa := NodeSignature(a, theta, tmin)
 					sb := NodeSignature(b, theta, tmin)
 					if sa != sb {
@@ -208,7 +210,7 @@ func TestSimilaritySymmetricBounded(t *testing.T) {
 		for j := 0; j < len(nodes); j += 5 {
 			a, b := nodes[i], nodes[j]
 			s1, s2 := tr.Similarity(a, b), tr.Similarity(b, a)
-			if s1 != s2 {
+			if !sim.Eq(s1, s2) {
 				t.Fatalf("asymmetric similarity %v vs %v", s1, s2)
 			}
 			if s1 <= 0 || s1 > 1 {

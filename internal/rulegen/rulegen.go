@@ -138,6 +138,7 @@ func capThresholds(ths []float64, max int) []float64 {
 	// Dedup (quantiles can repeat).
 	dedup := out[:0]
 	for i, v := range out {
+		//lint:ignore float-threshold dedup of sorted copies; only bit-identical duplicates must collapse
 		if i == 0 || v != dedup[len(dedup)-1] {
 			dedup = append(dedup, v)
 		}

@@ -5,6 +5,7 @@ import (
 
 	"dime/internal/fixtures"
 	"dime/internal/rules"
+	"dime/internal/sim"
 )
 
 // figure1Examples builds the example pool of Example 10: all pairs among
@@ -44,7 +45,7 @@ func TestCandidatePredicatesFinite(t *testing.T) {
 	// only take values realized by positive examples (1 and 2 here).
 	for _, p := range cands {
 		if p.Fn == rules.Overlap && p.AttrName == "Authors" {
-			if p.Threshold != 1 && p.Threshold != 2 {
+			if !sim.Eq(p.Threshold, 1) && !sim.Eq(p.Threshold, 2) {
 				t.Fatalf("unexpected overlap threshold %v", p.Threshold)
 			}
 		}
@@ -174,7 +175,7 @@ func TestEnumerateRejectsHugeSpaces(t *testing.T) {
 func TestCapThresholds(t *testing.T) {
 	ths := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
 	got := capThresholds(ths, 3)
-	if len(got) != 3 || got[0] != 0 || got[2] != 1 {
+	if len(got) != 3 || got[0] != 0 || !sim.Eq(got[2], 1) {
 		t.Fatalf("capThresholds = %v", got)
 	}
 	if got := capThresholds(ths, 0); len(got) != len(ths) {

@@ -1,0 +1,73 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRule drives the rule-DSL parser with arbitrary input. Two
+// invariants: Parse never panics (garbage must come back as an error), and
+// every accepted rule round-trips — rendering it with String() and
+// re-parsing yields the same predicates. The seeds mix every preset rule
+// shipped in internal/presets with the near-miss shapes the robustness test
+// exercises.
+func FuzzParseRule(f *testing.F) {
+	seeds := []string{
+		// Preset corpora (Scholar and DBGen rule tables).
+		"ov(Authors) >= 2",
+		"ov(Authors) >= 1 && on(Venue) >= 0.75",
+		"ov(Authors) = 0",
+		"ov(Authors) <= 1 && on(Venue) <= 0.25",
+		"ov(Authors) <= 1 && jac(Title) <= 0.25",
+		"eds(Title) >= 0.9",
+		"jac(Title) >= 0.6 && ov(Authors) >= 2",
+		"ed(Title) <= 3",
+		"dice(Title) >= 0.5 && cos(Title) >= 0.5",
+		// Near-misses and hostile shapes.
+		"",
+		"ov(Authors)",
+		"ov(Authors) >=",
+		"ov(Authors) = 1",
+		"ov() >= 2",
+		"zz(Authors) >= 2",
+		"ov(Missing) >= 2",
+		"on(Title) >= 0.5",
+		"ov(Authors) >= NaN",
+		"ov(Authors) >= Inf",
+		"ov(Authors) >= -1",
+		"ov(Authors) >= 1e309",
+		"ov(Authors) >= 2 && ",
+		"(( && ))",
+		"ov(Aut)hors) >= 2",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	cfg := testConfig()
+	f.Fuzz(func(t *testing.T, dsl string) {
+		for _, kind := range []Kind{Positive, Negative} {
+			r, err := Parse(cfg, "fuzz", kind, dsl)
+			if err != nil {
+				continue
+			}
+			if len(r.Predicates) == 0 {
+				t.Fatalf("Parse(%q) accepted a rule with no predicates", dsl)
+			}
+			rendered := strings.TrimPrefix(r.String(), "fuzz: ")
+			back, err := Parse(cfg, "fuzz", kind, rendered)
+			if err != nil {
+				t.Fatalf("round trip of %q failed: rendered %q, err %v", dsl, rendered, err)
+			}
+			if len(back.Predicates) != len(r.Predicates) {
+				t.Fatalf("round trip of %q changed arity: %d vs %d", dsl, len(r.Predicates), len(back.Predicates))
+			}
+			for i := range r.Predicates {
+				p, q := r.Predicates[i], back.Predicates[i]
+				//lint:ignore float-threshold the DSL round trip is bit-exact by design (%g renders the shortest unique form)
+				if p.Attr != q.Attr || p.Fn != q.Fn || p.Op != q.Op || p.Threshold != q.Threshold {
+					t.Fatalf("round trip of %q changed predicate %d: %+v vs %+v", dsl, i, p, q)
+				}
+			}
+		}
+	})
+}

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"dime/internal/sim"
 )
 
 // TestParseNeverPanics feeds the DSL parser random garbage; it must return
@@ -105,7 +107,7 @@ func TestPredicateSimilaritySymmetry(t *testing.T) {
 		"on(Venue) >= 0.1",
 	} {
 		p := MustParse(cfg, "p", Positive, dsl).Predicates[0]
-		if p.Similarity(a, b) != p.Similarity(b, a) {
+		if !sim.Eq(p.Similarity(a, b), p.Similarity(b, a)) {
 			t.Errorf("%s asymmetric: %v vs %v", dsl, p.Similarity(a, b), p.Similarity(b, a))
 		}
 	}

@@ -13,6 +13,7 @@ package rules
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"dime/internal/entity"
@@ -139,10 +140,13 @@ func (p Predicate) Eval(a, b *Record) bool {
 		return !within || d >= bound
 	}
 	s := p.Similarity(a, b)
+	// Epsilon-tolerant comparisons: a similarity that is mathematically equal
+	// to the threshold can round to either side of it, and rule semantics
+	// must not depend on that noise.
 	if p.Op == GE {
-		return s >= p.Threshold
+		return sim.AtLeast(s, p.Threshold)
 	}
-	return s <= p.Threshold
+	return sim.AtMost(s, p.Threshold)
 }
 
 // Cost estimates the verification cost of evaluating the predicate on a pair
@@ -277,6 +281,11 @@ func (rs RuleSet) Validate(schema *entity.Schema) error {
 			}
 			if p.Threshold < 0 {
 				return fmt.Errorf("rules: rule %q: negative threshold %g", r.Name, p.Threshold)
+			}
+			if math.IsNaN(p.Threshold) || math.IsInf(p.Threshold, 0) {
+				// NaN compares false with everything and ±Inf can never be
+				// crossed, so such predicates silently evaluate to a constant.
+				return fmt.Errorf("rules: rule %q: non-finite threshold %g", r.Name, p.Threshold)
 			}
 		}
 		return nil

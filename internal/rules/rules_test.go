@@ -7,6 +7,7 @@ import (
 
 	"dime/internal/entity"
 	"dime/internal/ontology"
+	"dime/internal/sim"
 )
 
 var testSchema = entity.MustSchema("Title", "Authors", "Venue")
@@ -67,7 +68,7 @@ func TestPredicateOverlapAuthors(t *testing.T) {
 	// A single-element author list must count as ONE token, not word tokens.
 	c := mustRecord(t, cfg, "c", "t", []string{"Nan Tang"}, "ICDE")
 	p1 := Predicate{Attr: 1, Fn: Overlap, Op: GE, Threshold: 1}
-	if got := p1.Similarity(a, c); got != 1 {
+	if got := p1.Similarity(a, c); !sim.Eq(got, 1) {
 		t.Fatalf("single-author overlap = %v, want 1", got)
 	}
 }
@@ -206,15 +207,15 @@ func TestPredicateCostModel(t *testing.T) {
 	a := mustRecord(t, cfg, "a", "short", []string{"X", "Y"}, "SIGMOD")
 	b := mustRecord(t, cfg, "b", "longer title here", []string{"X"}, "VLDB")
 	set := Predicate{Attr: 1, Fn: Overlap, Op: GE, Threshold: 1}
-	if got := set.Cost(a, b); got != 3 {
+	if got := set.Cost(a, b); !sim.Eq(got, 3) {
 		t.Fatalf("set cost = %v, want |a|+|b| = 3", got)
 	}
 	ont := Predicate{Attr: 2, Fn: Ontology, Op: GE, Threshold: 0.75, Tree: cfg.Tree("Venue")}
-	if got := ont.Cost(a, b); got != 8 {
+	if got := ont.Cost(a, b); !sim.Eq(got, 8) {
 		t.Fatalf("ontology cost = %v, want 4+4", got)
 	}
 	ed := Predicate{Attr: 0, Fn: EditDist, Op: LE, Threshold: 2}
-	if got := ed.Cost(a, b); got != 2*float64(len("short")) {
+	if got := ed.Cost(a, b); !sim.Eq(got, 2*float64(len("short"))) {
 		t.Fatalf("edit cost = %v", got)
 	}
 }

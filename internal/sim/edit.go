@@ -2,7 +2,9 @@ package sim
 
 // EditDistance returns the Levenshtein distance between a and b, computed
 // over runes with the classic two-row dynamic program in O(|a|·|b|) time and
-// O(min(|a|,|b|)) space.
+// O(min(|a|,|b|)) space. Inputs are compared by their rune decoding, so
+// invalid UTF-8 sequences collapse to U+FFFD before comparison (distinct
+// invalid byte sequences are therefore equal).
 func EditDistance(a, b string) int {
 	ra, rb := []rune(a), []rune(b)
 	if len(ra) > len(rb) {

@@ -1,0 +1,31 @@
+package sim
+
+import "math"
+
+// Epsilon is the tolerance used by the threshold comparison helpers below.
+// Similarity values are built from float divisions and square roots, so a
+// value that is mathematically equal to a rule threshold (say jac = 0.3) can
+// land a few ULPs on either side of it. Rule semantics must not depend on
+// that noise: every threshold comparison in the codebase goes through Eq,
+// AtLeast or AtMost. The dimelint float-threshold analyzer enforces this.
+const Epsilon = 1e-9
+
+// Eq reports whether two float64 similarity values are equal within Epsilon.
+// Use it instead of == or != on similarity values.
+func Eq(a, b float64) bool {
+	return math.Abs(a-b) <= Epsilon
+}
+
+// AtLeast reports s ≥ threshold with Epsilon tolerance: a value within
+// Epsilon below the threshold still satisfies it. This is the comparison for
+// positive-rule predicates f(A) ≥ θ.
+func AtLeast(s, threshold float64) bool {
+	return s >= threshold-Epsilon
+}
+
+// AtMost reports s ≤ threshold with Epsilon tolerance: a value within
+// Epsilon above the threshold still satisfies it. This is the comparison for
+// negative-rule predicates f(A) ≤ σ.
+func AtMost(s, threshold float64) bool {
+	return s <= threshold+Epsilon
+}

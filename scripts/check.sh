@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# check.sh is the repository's full verification gate: build, vet, the
+# dimelint invariant analyzers, the race-enabled test suite, and a short
+# fuzz smoke on the two parser/DP fuzz targets. CI and pre-merge runs should
+# invoke exactly this script (or `make check`, which delegates here).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== dimelint ./..."
+go run ./cmd/dimelint ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== fuzz smoke (${FUZZTIME} per target)"
+go test -run=NONE -fuzz=FuzzParseRule -fuzztime="${FUZZTIME}" ./internal/rules
+go test -run=NONE -fuzz=FuzzEditDistance -fuzztime="${FUZZTIME}" ./internal/sim
+
+echo "check: all gates passed"
