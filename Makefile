@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check
+.PHONY: build test lint check bench
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,12 @@ lint:
 	$(GO) run ./cmd/dimelint ./...
 
 # Full verification gate: build, vet, dimelint, race tests, fuzz smoke.
-# Override the fuzz budget with FUZZTIME=30s etc.
+# Override the fuzz budget with FUZZTIME=30s etc. Add CHECK_BENCH=1 to also
+# refresh the BENCH_core.json performance snapshot.
 check:
 	./scripts/check.sh
+
+# Performance snapshot: BenchmarkDIMEPlus + experiment smoke, written to
+# BENCH_core.json via cmd/benchjson. Override BENCHTIME / BENCH_OUT.
+bench:
+	./scripts/bench.sh

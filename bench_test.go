@@ -18,6 +18,7 @@ import (
 	"dime/internal/entity"
 	"dime/internal/experiments"
 	"dime/internal/lda"
+	"dime/internal/obs"
 	"dime/internal/presets"
 	"dime/internal/rulegen"
 	"dime/internal/rules"
@@ -167,6 +168,36 @@ func scholarBenchGroup() (*datagen.ScholarOptions, *core.Options) {
 	rs := presets.ScholarRules(cfg)
 	gopts := &datagen.ScholarOptions{NumPubs: 600, ErrorRate: 0.06, Seed: 23}
 	return gopts, &core.Options{Config: cfg, Rules: rs}
+}
+
+// BenchmarkDIMEPlus is the primary end-to-end benchmark: one DIME+ run over
+// the standard 600-publication Scholar group. The nil-probe variant is the
+// production fast path (the observability budget requires it within 2% of an
+// uninstrumented build); the traced variant pays for a full recording span
+// tree per run.
+func BenchmarkDIMEPlus(b *testing.B) {
+	gopts, opts := scholarBenchGroup()
+	g := datagen.Scholar(*gopts)
+	b.Run("nil-probe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.DIMEPlus(g, *opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Stats.PositiveVerified), "verifications/op")
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := *opts
+			o.Probe = obs.NewTrace()
+			res, err := core.DIMEPlus(g, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Stats.PositiveVerified), "verifications/op")
+		}
+	})
 }
 
 // BenchmarkAblationNoSignatures compares DIME+ against the no-filter

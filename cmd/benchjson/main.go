@@ -1,0 +1,146 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document, keyed by benchmark name (the -N GOMAXPROCS suffix stripped) with
+// ns/op, B/op, allocs/op and any custom ReportMetric units. scripts/bench.sh
+// pipes the benchmark run through it to produce BENCH_core.json, the
+// checked-in performance snapshot diffed across commits.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem | benchjson [-o out.json]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the output JSON: benchmarks by name plus the Go version and
+// GOMAXPROCS lines `go test` prints, when present.
+type Document struct {
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+	if _, err := w.Write(data); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans benchmark result lines ("BenchmarkX-8  30  40123 ns/op  ...").
+// Non-benchmark lines (PASS, ok, goos, test log output) are ignored. A
+// benchmark that appears twice keeps the later measurement, matching how a
+// re-run supersedes an earlier one in a concatenated log.
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters}
+		valid := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				valid = false
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		if !valid {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		doc.Benchmarks[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// Names returns the parsed benchmark names, sorted (used by tests).
+func (d *Document) Names() []string {
+	names := make([]string, 0, len(d.Benchmarks))
+	for name := range d.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

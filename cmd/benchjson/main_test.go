@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: dime
+cpu: some cpu
+BenchmarkDIMEPlus/nil-probe-8         	      30	  40262448 ns/op	        57023 verifications/op	12525553 B/op	   58037 allocs/op
+BenchmarkDIMEPlus/traced-8            	      28	  41000000 ns/op	        57023 verifications/op	12700000 B/op	   58300 allocs/op
+BenchmarkExp1Fig6-8                   	       1	9000000000 ns/op	400000000 B/op	 5000000 allocs/op
+some interleaved log line
+PASS
+ok  	dime	62.102s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"BenchmarkDIMEPlus/nil-probe",
+		"BenchmarkDIMEPlus/traced",
+		"BenchmarkExp1Fig6",
+	}
+	if got := doc.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	r := doc.Benchmarks["BenchmarkDIMEPlus/nil-probe"]
+	if r.Iterations != 30 {
+		t.Errorf("iterations = %d", r.Iterations)
+	}
+	if math.Abs(r.NsPerOp-40262448) > 0.5 {
+		t.Errorf("ns/op = %g", r.NsPerOp)
+	}
+	if math.Abs(r.BPerOp-12525553) > 0.5 || math.Abs(r.AllocsPerOp-58037) > 0.5 {
+		t.Errorf("mem = %g / %g", r.BPerOp, r.AllocsPerOp)
+	}
+	if math.Abs(r.Metrics["verifications/op"]-57023) > 0.5 {
+		t.Errorf("metrics = %v", r.Metrics)
+	}
+}
+
+func TestParseKeepsLaterDuplicate(t *testing.T) {
+	in := "BenchmarkX-4 10 100 ns/op\nBenchmarkX-4 20 90 ns/op\n"
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := doc.Benchmarks["BenchmarkX"]
+	if r.Iterations != 20 || math.Abs(r.NsPerOp-90) > 0.5 {
+		t.Fatalf("duplicate handling: %+v", r)
+	}
+}
+
+func TestParseSkipsMalformed(t *testing.T) {
+	in := "BenchmarkBad notanumber 5 ns/op\nBenchmarkAlso-2 3 nan... ns/op extra\nBenchmarkOK-2 3 5 ns/op\n"
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Names(); !reflect.DeepEqual(got, []string{"BenchmarkOK"}) {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Document
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Names(), doc.Names()) {
+		t.Fatalf("round trip lost benchmarks: %v vs %v", back.Names(), doc.Names())
+	}
+}

@@ -1,0 +1,202 @@
+package main
+
+// Golden tests for the CLI's output paths: the scrollbar listing, -level,
+// -why, -stats (single group and batch), and the -trace JSON export. The
+// input groups come from the deterministic synthetic generator, so the
+// expected text is stable across runs and platforms.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"dime/internal/datagen"
+	"dime/internal/entity"
+	"dime/internal/obs"
+)
+
+// writeGroupFile serializes deterministic Scholar groups into dir.
+func writeGroupFile(t *testing.T, dir, name string, groups ...*entity.Group) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := entity.WriteGroups(f, groups); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func singleGroupFile(t *testing.T, dir string) string {
+	t.Helper()
+	g := datagen.Scholar(datagen.ScholarOptions{NumPubs: 30, ErrorRate: 0.1, Seed: 7})
+	return writeGroupFile(t, dir, "group.json", g)
+}
+
+// runCLI invokes run() and returns (stdout, stderr, exit code).
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), code
+}
+
+func TestGoldenLevels(t *testing.T) {
+	in := singleGroupFile(t, t.TempDir())
+	stdout, stderr, code := runCLI(t, "-in", in, "-preset", "scholar")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	want := `group "Lei Zhou": 33 entities, 6 partitions, pivot size 27
+level 1 (+phi-1): 2 mis-categorized
+  p0031
+  p0032
+  score vs ground truth: P=1.00 R=0.67 F=0.80
+level 2 (+phi-2): 3 mis-categorized
+  p0031
+  p0032
+  p0033
+  score vs ground truth: P=1.00 R=1.00 F=1.00
+level 3 (+phi-3): 6 mis-categorized
+  p0001
+  p0002
+  p0003
+  p0031
+  p0032
+  p0033
+  score vs ground truth: P=0.50 R=1.00 F=0.67
+`
+	if stdout != want {
+		t.Errorf("output mismatch:\n--- got ---\n%s--- want ---\n%s", stdout, want)
+	}
+}
+
+func TestGoldenLevelFlag(t *testing.T) {
+	in := singleGroupFile(t, t.TempDir())
+	stdout, stderr, code := runCLI(t, "-in", in, "-preset", "scholar", "-level", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	want := `group "Lei Zhou": 33 entities, 6 partitions, pivot size 27
+level 2 (+phi-2): 3 mis-categorized
+  p0031
+  p0032
+  p0033
+  score vs ground truth: P=1.00 R=1.00 F=1.00
+`
+	if stdout != want {
+		t.Errorf("output mismatch:\n--- got ---\n%s--- want ---\n%s", stdout, want)
+	}
+}
+
+func TestGoldenWhyAndStats(t *testing.T) {
+	in := singleGroupFile(t, t.TempDir())
+	stdout, stderr, code := runCLI(t, "-in", in, "-preset", "scholar", "-level", "0", "-why", "-stats")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	wantTail := `witnesses:
+  partition 0: phi-3 holds for (p0001, pivot p0005)
+  partition 1: phi-3 holds for (p0002, pivot p0005)
+  partition 3: every pair provably satisfies phi-1 (signature filter)
+  partition 4: every pair provably satisfies phi-1 (signature filter)
+  partition 5: every pair provably satisfies phi-2 (signature filter)
+stats: {PositivePairsConsidered:539 PositiveVerified:27 PositiveSkippedByTransitivity:512 NegativeVerified:189 PartitionsFilteredBySignature:3 CertainPairsBySignature:2}
+`
+	if !strings.HasSuffix(stdout, wantTail) {
+		t.Errorf("output mismatch:\n--- got ---\n%s--- want suffix ---\n%s", stdout, wantTail)
+	}
+}
+
+func TestGoldenCorpusStats(t *testing.T) {
+	dir := t.TempDir()
+	c1 := datagen.Scholar(datagen.ScholarOptions{NumPubs: 20, ErrorRate: 0.1, Seed: 11})
+	c2 := datagen.Scholar(datagen.ScholarOptions{NumPubs: 25, ErrorRate: 0.08, Seed: 12})
+	in := writeGroupFile(t, dir, "corpus.jsonl", c1, c2)
+	stdout, stderr, code := runCLI(t, "-in", in, "-preset", "scholar", "-stats")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	// Wall time and worker count vary by machine; normalize them.
+	norm := regexp.MustCompile(`batch: 2 groups, \d+ workers, wall \S+`).
+		ReplaceAllString(stdout, "batch: 2 groups, W workers, wall T")
+	want := `Group                    Entities    Pivot  Flagged  Score
+Gustav Wu                      22       17        5  P=0.40 R=1.00 F=0.57
+Nan Harris                     27       22        5  P=0.40 R=1.00 F=0.57
+
+aggregate (deepest level, 2 groups): P=0.40 R=1.00 F=0.57
+
+batch: 2 groups, W workers, wall T
+stats: {PositivePairsConsidered:539 PositiveVerified:87 PositiveSkippedByTransitivity:452 NegativeVerified:236 PartitionsFilteredBySignature:4 CertainPairsBySignature:2}
+`
+	if norm != want {
+		t.Errorf("output mismatch:\n--- got ---\n%s--- want ---\n%s", norm, want)
+	}
+}
+
+func TestTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	in := singleGroupFile(t, dir)
+	tracePath := filepath.Join(dir, "trace.json")
+	_, stderr, code := runCLI(t, "-in", in, "-preset", "scholar", "-trace", tracePath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex obs.TraceExport
+	if err := json.Unmarshal(data, &ex); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if ex.Version != 1 || ex.Tool != "dime" || len(ex.Runs) != 1 {
+		t.Fatalf("export header = %+v", ex)
+	}
+	run := ex.Runs[0]
+	if run.Name != "dime+" {
+		t.Fatalf("run name = %q", run.Name)
+	}
+	for _, phase := range []string{
+		obs.PhaseRecordCompile, obs.PhaseSignatureBuild, obs.PhaseCandidateGen,
+		obs.PhasePositiveVerify, obs.PhaseNegativeFilter, obs.PhaseNegativeVerify,
+	} {
+		if run.Find(phase) == nil {
+			t.Errorf("trace missing phase %s", phase)
+		}
+	}
+	if run.Counter("candidates") == 0 {
+		t.Error("trace has no candidate counters")
+	}
+}
+
+func TestLogFlagEmitsSpans(t *testing.T) {
+	in := singleGroupFile(t, t.TempDir())
+	_, stderr, code := runCLI(t, "-in", in, "-preset", "scholar", "-log")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, phase := range []string{"dime+", obs.PhaseCandidateGen, obs.PhaseNegativeVerify} {
+		if !strings.Contains(stderr, "msg="+phase) {
+			t.Errorf("log output missing span %q:\n%s", phase, stderr)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, stderr, code := runCLI(t); code != 2 || !strings.Contains(stderr, "-in is required") {
+		t.Fatalf("missing -in: code %d, stderr %q", code, stderr)
+	}
+	if _, _, code := runCLI(t, "-not-a-flag"); code != 2 {
+		t.Fatalf("bad flag: code %d", code)
+	}
+	if _, stderr, code := runCLI(t, "-in", "/nonexistent.json", "-preset", "scholar"); code != 1 || !strings.Contains(stderr, "dime:") {
+		t.Fatalf("missing input: code %d, stderr %q", code, stderr)
+	}
+}

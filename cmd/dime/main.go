@@ -7,6 +7,8 @@
 //	dime -in group.json -pos "ov(Authors) >= 2" -pos "..." -neg "ov(Authors) = 0"
 //	dime -in group.json -rules rules.json [-ontology tree.json -tree Venue]
 //	dime -in labeled.json -preset scholar -learn rules.json
+//	dime -in group.json -preset scholar -trace trace.json -log
+//	dime -in corpus.jsonl -preset scholar -stats -serve-debug :6060
 //
 // With a preset, the paper's rule set and record configuration for that
 // dataset are used; -rules loads a rule-set JSON file instead (combined with
@@ -15,22 +17,34 @@
 // eds, ed, on). -learn runs the Section-V rule generator over the group's
 // ground truth and writes the learned rule set. The tool prints each
 // scrollbar level's discovered entities, with -why the per-partition
-// witness, and with -stats the work counters.
+// witness, and with -stats the work counters (for corpora, the batch
+// aggregate with wall time and worker count).
+//
+// Observability: -trace FILE writes a JSON span tree of every pipeline phase
+// with timings and work counters; -log emits one structured log line per
+// completed phase to stderr; -serve-debug ADDR serves /debug/pprof/,
+// /debug/vars and a plaintext /metrics for the duration of the run and then
+// waits for ctrl-c so the endpoints can be inspected.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"dime"
 	"dime/internal/analysis"
 	"dime/internal/datagen"
 	"dime/internal/entity"
 	"dime/internal/metrics"
+	"dime/internal/obs"
 	"dime/internal/ontology"
 	"dime/internal/presets"
 	"dime/internal/rulegen"
@@ -45,96 +59,183 @@ func (s *stringsFlag) Set(v string) error {
 	return nil
 }
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the testable entry point: it parses args, executes, writes human
+// output to stdout and diagnostics to stderr, and returns the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dime", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in        = flag.String("in", "", "input file: group JSON, JSON-lines corpus, or CSV (required)")
-		csvSep    = flag.String("csv-sep", "; ", "multi-value separator for CSV cells")
-		csvID     = flag.String("csv-id", "", "CSV column holding entity IDs (default: first column)")
-		preset    = flag.String("preset", "", "rule preset: scholar, amazon or dbgen")
-		rulesFile = flag.String("rules", "", "rule-set JSON file (see dime.MarshalRuleSet for the format)")
-		ontoFile  = flag.String("ontology", "", "ontology JSON file; registers the tree for attributes named in -tree")
-		treeAttrs stringsFlag
-		level     = flag.Int("level", -1, "scrollbar level to report (default: all levels)")
-		basic     = flag.Bool("basic", false, "run the quadratic reference algorithm DIME instead of DIME+")
-		stats     = flag.Bool("stats", false, "print work counters")
-		why       = flag.Bool("why", false, "print the witnessing rule and entity pair per flagged partition")
-		learn     = flag.String("learn", "", "learn a rule set from the group's ground truth and write it to this file")
-		profile   = flag.Bool("profile", false, "profile the group's attributes (coverage, token shape, separability) and exit")
-		pos       stringsFlag
-		neg       stringsFlag
+		in         = fs.String("in", "", "input file: group JSON, JSON-lines corpus, or CSV (required)")
+		csvSep     = fs.String("csv-sep", "; ", "multi-value separator for CSV cells")
+		csvID      = fs.String("csv-id", "", "CSV column holding entity IDs (default: first column)")
+		preset     = fs.String("preset", "", "rule preset: scholar, amazon or dbgen")
+		rulesFile  = fs.String("rules", "", "rule-set JSON file (see dime.MarshalRuleSet for the format)")
+		ontoFile   = fs.String("ontology", "", "ontology JSON file; registers the tree for attributes named in -tree")
+		treeAttrs  stringsFlag
+		level      = fs.Int("level", -1, "scrollbar level to report (default: all levels)")
+		basic      = fs.Bool("basic", false, "run the quadratic reference algorithm DIME instead of DIME+")
+		stats      = fs.Bool("stats", false, "print work counters (batch aggregate for corpora)")
+		why        = fs.Bool("why", false, "print the witnessing rule and entity pair per flagged partition")
+		learn      = fs.String("learn", "", "learn a rule set from the group's ground truth and write it to this file")
+		profile    = fs.Bool("profile", false, "profile the group's attributes (coverage, token shape, separability) and exit")
+		traceFile  = fs.String("trace", "", "write a JSON span trace of the run to this file")
+		logSpans   = fs.Bool("log", false, "emit one structured log line per completed phase to stderr")
+		serveDebug = fs.String("serve-debug", "", "serve /debug/pprof/, /debug/vars and /metrics on this address (e.g. :6060)")
+		pos        stringsFlag
+		neg        stringsFlag
 	)
-	flag.Var(&pos, "pos", "positive rule DSL (repeatable)")
-	flag.Var(&neg, "neg", "negative rule DSL (repeatable)")
-	flag.Var(&treeAttrs, "tree", "attribute to attach the -ontology tree to (repeatable)")
-	flag.Parse()
+	fs.Var(&pos, "pos", "positive rule DSL (repeatable)")
+	fs.Var(&neg, "neg", "negative rule DSL (repeatable)")
+	fs.Var(&treeAttrs, "tree", "attribute to attach the -ontology tree to (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "dime: -in is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dime: -in is required")
+		fs.Usage()
+		return 2
 	}
-	groups, err := loadGroups(*in, *csvID, *csvSep)
-	if err != nil {
-		fatal(err)
+
+	// Observability wiring: any combination of a JSON trace, per-span logs,
+	// and the metrics registry behind the debug server.
+	var (
+		tr     *obs.Trace
+		probes []obs.Probe
+		srv    *obs.DebugServer
+	)
+	if *traceFile != "" {
+		tr = obs.NewTrace()
+		probes = append(probes, tr)
 	}
-	if len(groups) > 1 && !*profile && *learn == "" {
-		cfg, rs, err := resolveRules(groups[0], *preset, *rulesFile, *ontoFile, treeAttrs, pos, neg)
+	if *logSpans {
+		probes = append(probes, obs.Logged(obs.NewLogger(stderr, slog.LevelInfo), slog.LevelInfo))
+	}
+	if *serveDebug != "" {
+		var err error
+		if srv, err = obs.ServeDebug(*serveDebug, nil); err != nil {
+			fmt.Fprintf(stderr, "dime: %v\n", err)
+			return 1
+		}
+		defer func() { _ = srv.Close() }()
+		probes = append(probes, obs.Observer(nil))
+	}
+	probe := obs.Multi(probes...)
+
+	code := runInput(stdout, stderr, probe, cliArgs{
+		in: *in, csvID: *csvID, csvSep: *csvSep,
+		preset: *preset, rulesFile: *rulesFile, ontoFile: *ontoFile,
+		treeAttrs: treeAttrs, pos: pos, neg: neg,
+		level: *level, basic: *basic, stats: *stats, why: *why,
+		learn: *learn, profile: *profile,
+	})
+
+	if tr != nil {
+		f, err := os.Create(*traceFile)
+		if err == nil {
+			err = tr.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
 		if err != nil {
-			fatal(err)
+			fmt.Fprintf(stderr, "dime: writing trace: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
 		}
-		if err := runCorpus(groups, dime.Options{Config: cfg, Rules: rs}); err != nil {
-			fatal(err)
+	}
+	if srv != nil && code == 0 {
+		fmt.Fprintf(stderr, "dime: debug server on http://%s (ctrl-c to exit)\n", srv.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+	}
+	return code
+}
+
+// cliArgs carries the parsed flags into the execution paths.
+type cliArgs struct {
+	in, csvID, csvSep           string
+	preset, rulesFile, ontoFile string
+	treeAttrs, pos, neg         []string
+	level                       int
+	basic, stats, why           bool
+	learn                       string
+	profile                     bool
+}
+
+// runInput dispatches to the profile / learn / corpus / single-group paths.
+func runInput(stdout, stderr io.Writer, probe obs.Probe, c cliArgs) int {
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "dime: %v\n", err)
+		return 1
+	}
+	groups, err := loadGroups(c.in, c.csvID, c.csvSep)
+	if err != nil {
+		return fail(err)
+	}
+	if len(groups) > 1 && !c.profile && c.learn == "" {
+		cfg, rs, err := resolveRules(groups[0], c.preset, c.rulesFile, c.ontoFile, c.treeAttrs, c.pos, c.neg)
+		if err != nil {
+			return fail(err)
 		}
-		return
+		opts := dime.Options{Config: cfg, Rules: rs, Probe: probe}
+		if err := runCorpus(stdout, groups, opts, c.stats); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 	g := *groups[0]
 
-	if *profile {
-		if err := printProfile(&g); err != nil {
-			fatal(err)
+	if c.profile {
+		if err := printProfile(stdout, &g); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
-	if *learn != "" {
-		if err := learnRules(&g, *preset, *learn); err != nil {
-			fatal(err)
+	if c.learn != "" {
+		if err := learnRules(stderr, &g, c.preset, c.learn, probe); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
-	cfg, rs, err := resolveRules(&g, *preset, *rulesFile, *ontoFile, treeAttrs, pos, neg)
+	cfg, rs, err := resolveRules(&g, c.preset, c.rulesFile, c.ontoFile, c.treeAttrs, c.pos, c.neg)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
-	opts := dime.Options{Config: cfg, Rules: rs}
+	opts := dime.Options{Config: cfg, Rules: rs, Probe: probe}
 	var res *dime.Result
-	if *basic {
+	if c.basic {
 		res, err = dime.DiscoverBasic(&g, opts)
 	} else {
 		res, err = dime.Discover(&g, opts)
 	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
-	fmt.Printf("group %q: %d entities, %d partitions, pivot size %d\n",
+	fmt.Fprintf(stdout, "group %q: %d entities, %d partitions, pivot size %d\n",
 		g.Name, g.Size(), len(res.Partitions), res.PivotSize())
 	for li, lv := range res.Levels {
-		if *level >= 0 && li != *level {
+		if c.level >= 0 && li != c.level {
 			continue
 		}
-		fmt.Printf("level %d (+%s): %d mis-categorized\n", li+1, lv.RuleName, len(lv.EntityIDs))
+		fmt.Fprintf(stdout, "level %d (+%s): %d mis-categorized\n", li+1, lv.RuleName, len(lv.EntityIDs))
 		for _, id := range lv.EntityIDs {
-			fmt.Printf("  %s\n", id)
+			fmt.Fprintf(stdout, "  %s\n", id)
 		}
 		if g.Truth != nil {
-			fmt.Printf("  score vs ground truth: %s\n",
+			fmt.Fprintf(stdout, "  score vs ground truth: %s\n",
 				metrics.Score(lv.EntityIDs, g.MisCategorizedIDs()))
 		}
 	}
-	if *why {
-		fmt.Println("witnesses:")
+	if c.why {
+		fmt.Fprintln(stdout, "witnesses:")
 		for _, lv := range res.Levels[len(res.Levels)-1:] {
 			for _, pi := range lv.PartitionIndexes {
 				w, ok := res.WitnessOf(pi)
@@ -142,16 +243,17 @@ func main() {
 					continue
 				}
 				if w.EntityID == "" {
-					fmt.Printf("  partition %d: every pair provably satisfies %s (signature filter)\n", pi, w.Rule)
+					fmt.Fprintf(stdout, "  partition %d: every pair provably satisfies %s (signature filter)\n", pi, w.Rule)
 				} else {
-					fmt.Printf("  partition %d: %s holds for (%s, pivot %s)\n", pi, w.Rule, w.EntityID, w.PivotID)
+					fmt.Fprintf(stdout, "  partition %d: %s holds for (%s, pivot %s)\n", pi, w.Rule, w.EntityID, w.PivotID)
 				}
 			}
 		}
 	}
-	if *stats {
-		fmt.Printf("stats: %+v\n", res.Stats)
+	if c.stats {
+		fmt.Fprintf(stdout, "stats: %+v\n", res.Stats)
 	}
+	return 0
 }
 
 // resolveRules picks the rule source: a -rules file (parsed against the
@@ -237,7 +339,7 @@ func resolveRules(g *entity.Group, preset, rulesFile, ontoFile string, treeAttrs
 // greedy rule generator (Section V of the paper), and writes the learned
 // rule set as JSON. A preset supplies the record configuration (ontologies,
 // token modes); without one a plain config over the group's schema is used.
-func learnRules(g *entity.Group, preset, outPath string) error {
+func learnRules(stderr io.Writer, g *entity.Group, preset, outPath string, probe obs.Probe) error {
 	if len(g.Truth) == 0 {
 		return fmt.Errorf("dime: -learn needs a group with ground truth (the \"truth\" field)")
 	}
@@ -267,7 +369,7 @@ func learnRules(g *entity.Group, preset, outPath string) error {
 	for i := 0; i < 250; i++ {
 		exs = append(exs, rulegen.Example{A: good[(i*11)%len(good)], B: bad[i%len(bad)], Same: false})
 	}
-	rs, err := rulegen.Generate(rulegen.Options{Config: cfg, MaxThresholds: 32}, exs)
+	rs, err := rulegen.Generate(rulegen.Options{Config: cfg, MaxThresholds: 32, Probe: probe}, exs)
 	if err != nil {
 		return err
 	}
@@ -278,21 +380,21 @@ func learnRules(g *entity.Group, preset, outPath string) error {
 	if err := os.WriteFile(outPath, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "learned %d positive and %d negative rules → %s\n",
+	fmt.Fprintf(stderr, "learned %d positive and %d negative rules → %s\n",
 		len(rs.Positive), len(rs.Negative), outPath)
 	return nil
 }
 
 // printProfile renders the attribute profile of the group, ranked by
 // separability when ground truth is available.
-func printProfile(g *entity.Group) error {
+func printProfile(stdout io.Writer, g *entity.Group) error {
 	profiles, err := analysis.Profile(g, analysis.Options{})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("group %q: %d entities, %d labelled mis-categorized\n\n",
+	fmt.Fprintf(stdout, "group %q: %d entities, %d labelled mis-categorized\n\n",
 		g.Name, g.Size(), len(g.MisCategorizedIDs()))
-	fmt.Printf("%-18s %8s %8s %8s %8s %9s %9s %6s\n",
+	fmt.Fprintf(stdout, "%-18s %8s %8s %8s %8s %9s %9s %6s\n",
 		"Attribute", "Coverage", "Multi", "AvgVals", "AvgWords", "Distinct", "Separab.", "Mode")
 	for _, p := range analysis.RankBySeparability(profiles) {
 		mode := "elem"
@@ -303,23 +405,24 @@ func printProfile(g *entity.Group) error {
 		if !math.IsNaN(p.Separability) {
 			sep = fmt.Sprintf("%+.3f", p.Separability)
 		}
-		fmt.Printf("%-18s %8.2f %8.2f %8.1f %8.1f %9.2f %9s %6s\n",
+		fmt.Fprintf(stdout, "%-18s %8.2f %8.2f %8.1f %8.1f %9.2f %9s %6s\n",
 			p.Name, p.Coverage, p.MultiValued, p.AvgValues, p.AvgWords, p.DistinctRatio, sep, mode)
 	}
-	fmt.Println("\nhigh-separability attributes are where positive and negative rules should look first")
+	fmt.Fprintln(stdout, "\nhigh-separability attributes are where positive and negative rules should look first")
 	return nil
 }
 
 // runCorpus batch-processes a multi-group corpus with DiscoverAll and
 // prints a per-group summary plus (when ground truth is present) the
-// aggregate score of the deepest scrollbar level.
-func runCorpus(groups []*entity.Group, opts dime.Options) error {
-	results, err := dime.DiscoverAll(groups, opts, 0)
+// aggregate score of the deepest scrollbar level. With stats, the batch
+// aggregate (summed work counters, wall time, workers) follows.
+func runCorpus(stdout io.Writer, groups []*entity.Group, opts dime.Options, stats bool) error {
+	results, bs, err := dime.DiscoverAllStats(groups, opts, 0)
 	if err != nil {
 		return err
 	}
 	var scores []metrics.PRF
-	fmt.Printf("%-24s %8s %8s %8s  %s\n", "Group", "Entities", "Pivot", "Flagged", "Score")
+	fmt.Fprintf(stdout, "%-24s %8s %8s %8s  %s\n", "Group", "Entities", "Pivot", "Flagged", "Score")
 	for i, g := range groups {
 		res := results[i]
 		scoreStr := "-"
@@ -328,10 +431,14 @@ func runCorpus(groups []*entity.Group, opts dime.Options) error {
 			scores = append(scores, s)
 			scoreStr = s.String()
 		}
-		fmt.Printf("%-24s %8d %8d %8d  %s\n", g.Name, g.Size(), res.PivotSize(), len(res.Final()), scoreStr)
+		fmt.Fprintf(stdout, "%-24s %8d %8d %8d  %s\n", g.Name, g.Size(), res.PivotSize(), len(res.Final()), scoreStr)
 	}
 	if len(scores) > 0 {
-		fmt.Printf("\naggregate (deepest level, %d groups): %s\n", len(scores), metrics.Average(scores))
+		fmt.Fprintf(stdout, "\naggregate (deepest level, %d groups): %s\n", len(scores), metrics.Average(scores))
+	}
+	if stats {
+		fmt.Fprintf(stdout, "\nbatch: %d groups, %d workers, wall %v\n", bs.Groups, bs.Workers, bs.Wall.Round(time.Millisecond))
+		fmt.Fprintf(stdout, "stats: %+v\n", bs.Stats)
 	}
 	return nil
 }
@@ -353,9 +460,4 @@ func loadGroups(path, csvID, csvSep string) ([]*entity.Group, error) {
 		return []*entity.Group{g}, nil
 	}
 	return entity.ReadGroups(f)
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "dime: %v\n", err)
-	os.Exit(1)
 }

@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	experiments [-exp N] [-detail] [-large] [-full] [-pages N] [-pubs N] [-seed S]
+//	experiments [-exp N] [-detail] [-large] [-full] [-pages N] [-pubs N] [-seed S] [-serve-debug :6060]
 //
-// Without -exp, every experiment runs in order.
+// Without -exp, every experiment runs in order. -serve-debug exposes
+// /debug/pprof/, /debug/vars and /metrics for the duration of the run, so
+// long sweeps can be profiled live.
 package main
 
 import (
@@ -16,20 +18,32 @@ import (
 	"os"
 
 	"dime/internal/experiments"
+	"dime/internal/obs"
 )
 
 func main() {
 	var (
-		exp    = flag.Int("exp", 0, "experiment number 1..7 (0 = all; 2 is part of 1; 7 = ablation)")
-		detail = flag.Bool("detail", false, "with -exp 3: also print the per-page Figure 8 table")
-		large  = flag.Bool("large", false, "with -exp 5: also run the DBGen 20k-100k table")
-		full   = flag.Bool("full", false, "run efficiency sweeps at the paper's sizes (slow)")
-		pages  = flag.Int("pages", 0, "Scholar pages to generate (default 40; paper used 200)")
-		pubs   = flag.Int("pubs", 0, "publications per page (default 150; paper avg 340)")
-		seed   = flag.Int64("seed", 0, "generation seed (default 2018)")
-		chart  = flag.Bool("chart", false, "render each table's numeric columns as bar charts too")
+		exp        = flag.Int("exp", 0, "experiment number 1..7 (0 = all; 2 is part of 1; 7 = ablation)")
+		detail     = flag.Bool("detail", false, "with -exp 3: also print the per-page Figure 8 table")
+		large      = flag.Bool("large", false, "with -exp 5: also run the DBGen 20k-100k table")
+		full       = flag.Bool("full", false, "run efficiency sweeps at the paper's sizes (slow)")
+		pages      = flag.Int("pages", 0, "Scholar pages to generate (default 40; paper used 200)")
+		pubs       = flag.Int("pubs", 0, "publications per page (default 150; paper avg 340)")
+		seed       = flag.Int64("seed", 0, "generation seed (default 2018)")
+		chart      = flag.Bool("chart", false, "render each table's numeric columns as bar charts too")
+		serveDebug = flag.String("serve-debug", "", "serve /debug/pprof/, /debug/vars and /metrics on this address while experiments run")
 	)
 	flag.Parse()
+
+	if *serveDebug != "" {
+		srv, err := obs.ServeDebug(*serveDebug, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(os.Stderr, "experiments: debug server on http://%s\n", srv.Addr())
+	}
 
 	opts := experiments.Options{
 		Pages:       *pages,

@@ -43,6 +43,7 @@ import (
 	"dime/internal/analysis"
 	"dime/internal/core"
 	"dime/internal/entity"
+	"dime/internal/obs"
 	"dime/internal/ontology"
 	"dime/internal/rulegen"
 	"dime/internal/rules"
@@ -179,6 +180,43 @@ func DiscoverBasic(g *Group, opts Options) (*Result, error) {
 func DiscoverAll(groups []*Group, opts Options, workers int) ([]*Result, error) {
 	return core.DiscoverAll(groups, opts, workers)
 }
+
+// BatchStats aggregates a DiscoverAll run: summed per-group work counters
+// plus wall time and worker count.
+type BatchStats = core.BatchStats
+
+// DiscoverAllStats is DiscoverAll plus the batch aggregate.
+func DiscoverAllStats(groups []*Group, opts Options, workers int) ([]*Result, BatchStats, error) {
+	return core.DiscoverAllStats(groups, opts, workers)
+}
+
+// Re-exported observability layer (see the internal/obs package docs).
+type (
+	// Probe receives phase spans from discovery runs; set Options.Probe to
+	// instrument a run, leave it nil for the no-op fast path.
+	Probe = obs.Probe
+	// Span is one timed phase with counters.
+	Span = obs.Span
+	// Trace is a recording probe that builds an exportable JSON span tree.
+	Trace = obs.Trace
+	// TraceSpan is one recorded span of a Trace.
+	TraceSpan = obs.TraceSpan
+	// DebugServer is the HTTP server ServeDebug starts.
+	DebugServer = obs.DebugServer
+)
+
+// NewTrace returns an empty recording probe; pass it as Options.Probe and
+// call Trace.WriteJSON (or Trace.Export) once the run finishes.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// MultiProbe fans spans out to several probes at once; nil entries are
+// dropped, and with no live probes it returns nil (uninstrumented).
+func MultiProbe(probes ...Probe) Probe { return obs.Multi(probes...) }
+
+// ServeDebug starts an HTTP server on addr exposing /debug/pprof/,
+// /debug/vars (expvar, including the process-wide metrics registry) and a
+// plaintext /metrics dump. Close the returned server when done.
+func ServeDebug(addr string) (*DebugServer, error) { return obs.ServeDebug(addr, nil) }
 
 // Session maintains discovery state incrementally as a group grows (new
 // publications landing on a profile, new products entering a category):

@@ -5,9 +5,25 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dime/internal/entity"
+	"dime/internal/obs"
 )
+
+// BatchStats aggregates one DiscoverAll run: the per-group work counters
+// summed field-wise plus batch-level wall time and parallelism.
+type BatchStats struct {
+	// Groups is the number of groups processed.
+	Groups int
+	// Workers is the worker-goroutine count actually used (after clamping
+	// to GOMAXPROCS and the group count).
+	Workers int
+	// Wall is the end-to-end wall-clock duration of the batch.
+	Wall time.Duration
+	// Stats sums the per-group Stats.
+	Stats Stats
+}
 
 // DiscoverAll runs DIMEPlus over many groups concurrently with a bounded
 // worker pool and returns one result per group, in input order. Each group
@@ -16,6 +32,15 @@ import (
 // GOMAXPROCS. On error the first failure is returned and the batch result is
 // discarded.
 func DiscoverAll(groups []*entity.Group, opts Options, workers int) ([]*Result, error) {
+	results, _, err := DiscoverAllStats(groups, opts, workers)
+	return results, err
+}
+
+// DiscoverAllStats is DiscoverAll plus a BatchStats aggregate. A non-nil
+// opts.Probe is shared by all workers — each group still gets its own root
+// span — and additionally receives a "batch" run recording group and worker
+// counts over the whole batch's duration.
+func DiscoverAllStats(groups []*entity.Group, opts Options, workers int) ([]*Result, BatchStats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -24,9 +49,13 @@ func DiscoverAll(groups []*entity.Group, opts Options, workers int) ([]*Result, 
 	}
 	results := make([]*Result, len(groups))
 	if len(groups) == 0 {
-		return results, nil
+		return results, BatchStats{}, nil
 	}
 
+	start := time.Now()
+	run := obs.Start(opts.Probe, "batch")
+	run.Count("groups", int64(len(groups)))
+	run.Count("workers", int64(workers))
 	var (
 		failed   atomic.Bool
 		errMu    sync.Mutex
@@ -60,10 +89,15 @@ func DiscoverAll(groups []*entity.Group, opts Options, workers int) ([]*Result, 
 	}
 	close(jobs)
 	wg.Wait()
+	run.End()
 	if failed.Load() {
 		errMu.Lock()
 		defer errMu.Unlock()
-		return nil, firstErr
+		return nil, BatchStats{}, firstErr
 	}
-	return results, nil
+	bs := BatchStats{Groups: len(groups), Workers: workers, Wall: time.Since(start)}
+	for _, r := range results {
+		bs.Stats.Add(r.Stats)
+	}
+	return results, bs, nil
 }

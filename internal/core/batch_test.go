@@ -53,6 +53,43 @@ func TestDiscoverAllEmptyAndWorkerClamp(t *testing.T) {
 	}
 }
 
+func TestDiscoverAllStatsAggregates(t *testing.T) {
+	cfg := presets.ScholarConfig()
+	opts := Options{Config: cfg, Rules: presets.ScholarRules(cfg)}
+	groups := datagen.ScholarPages(5, 30, 0.08, 41)
+
+	results, bs, err := DiscoverAllStats(groups, opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Groups != len(groups) || bs.Workers != 3 {
+		t.Fatalf("batch stats = %+v", bs)
+	}
+	if bs.Wall <= 0 {
+		t.Fatalf("wall time = %v", bs.Wall)
+	}
+	var want Stats
+	for _, r := range results {
+		want.Add(r.Stats)
+	}
+	if bs.Stats != want {
+		t.Fatalf("aggregate stats = %+v, want %+v", bs.Stats, want)
+	}
+
+	// Worker clamping is reflected in the reported stats.
+	_, bs, err = DiscoverAllStats(groups, opts, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Workers != len(groups) {
+		t.Fatalf("clamped workers = %d, want %d", bs.Workers, len(groups))
+	}
+	_, bs, err = DiscoverAllStats(nil, opts, 4)
+	if err != nil || bs != (BatchStats{}) {
+		t.Fatalf("empty batch stats = %+v, err %v", bs, err)
+	}
+}
+
 func TestDiscoverAllPropagatesErrors(t *testing.T) {
 	cfg := presets.ScholarConfig()
 	opts := Options{Config: cfg, Rules: presets.ScholarRules(cfg)}

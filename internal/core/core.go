@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"dime/internal/entity"
+	"dime/internal/obs"
 	"dime/internal/rules"
 )
 
@@ -38,8 +39,17 @@ type Options struct {
 	DisableBenefitOrder bool
 	// BenefitSortLimit caps the candidate count DIME+ sorts globally by
 	// benefit; larger candidate sets are verified streaming (transitivity
-	// still skips the bulk, and the results are identical). 0 means 32768.
+	// still skips the bulk, and the results are identical). Zero and
+	// negative values both select the default of 32768; use a small
+	// positive limit (e.g. 1) to force streaming verification.
 	BenefitSortLimit int
+	// Probe receives phase spans (record compilation, signature build,
+	// candidate generation, positive verify, negative filter, negative
+	// verify) and work counters for observability. Nil — the default —
+	// disables instrumentation on a no-op fast path. A probe shared across
+	// goroutines (DiscoverAll) must be safe for concurrent use; the probes
+	// in internal/obs all are.
+	Probe obs.Probe
 }
 
 // Level is one scrollbar position: the cumulative output of the negative
@@ -88,6 +98,17 @@ type Stats struct {
 	// CertainPairsBySignature counts probes that proved a pair dissimilar
 	// without verification.
 	CertainPairsBySignature int64
+}
+
+// Add accumulates other into s field-wise; batch callers use it to fold
+// per-group stats into one aggregate.
+func (s *Stats) Add(other Stats) {
+	s.PositivePairsConsidered += other.PositivePairsConsidered
+	s.PositiveVerified += other.PositiveVerified
+	s.PositiveSkippedByTransitivity += other.PositiveSkippedByTransitivity
+	s.NegativeVerified += other.NegativeVerified
+	s.PartitionsFilteredBySignature += other.PartitionsFilteredBySignature
+	s.CertainPairsBySignature += other.CertainPairsBySignature
 }
 
 // Result is the output of a discovery run.

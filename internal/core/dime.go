@@ -2,6 +2,7 @@ package core
 
 import (
 	"dime/internal/entity"
+	"dime/internal/obs"
 	"dime/internal/partition"
 	"dime/internal/rules"
 )
@@ -10,15 +11,23 @@ import (
 // every entity pair against every positive rule to build the partition
 // graph, picks the largest connected component as the pivot partition, and
 // then enumerates pivot × other pairs against the negative rules in
-// sequence to discover mis-categorized partitions.
+// sequence to discover mis-categorized partitions. Having no signature
+// machinery, it emits only the record-compile, positive-verify, and
+// negative-verify phases to the probe.
 func DIME(g *entity.Group, opts Options) (*Result, error) {
 	if err := opts.validate(g); err != nil {
 		return nil, err
 	}
+	run := obs.Start(opts.Probe, "dime", obs.A("group", g.Name))
+	defer run.End()
+	sp := run.StartSpan(obs.PhaseRecordCompile)
 	recs, err := opts.Config.NewRecords(g)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.Count("records", int64(len(recs)))
+	sp.End()
 	res := &Result{Group: g, Pivot: -1}
 	n := len(recs)
 	if n == 0 {
@@ -27,6 +36,7 @@ func DIME(g *entity.Group, opts Options) (*Result, error) {
 
 	// Step 1: compute disjoint partitions with the positive-rule disjunction
 	// plus transitivity (connected components via union–find).
+	pv := run.StartSpan(obs.PhasePositiveVerify)
 	uf := partition.New(n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
@@ -40,6 +50,8 @@ func DIME(g *entity.Group, opts Options) (*Result, error) {
 			}
 		}
 	}
+	pv.Count("verified", res.Stats.PositiveVerified)
+	pv.End()
 	res.Partitions = uf.Sets()
 
 	// Step 2: the pivot partition is the largest one.
@@ -51,6 +63,8 @@ func DIME(g *entity.Group, opts Options) (*Result, error) {
 	marked := make(map[int]bool)
 	res.Witnesses = make(map[int]Witness)
 	for _, neg := range opts.Rules.Negative {
+		vsp := run.StartSpan(obs.PhaseNegativeVerify, obs.A("rule", neg.Name))
+		verifiedBefore := res.Stats.NegativeVerified
 		for pi, part := range res.Partitions {
 			if pi == res.Pivot || marked[pi] {
 				continue
@@ -71,6 +85,8 @@ func DIME(g *entity.Group, opts Options) (*Result, error) {
 				}
 			}
 		}
+		vsp.Count("verified", res.Stats.NegativeVerified-verifiedBefore)
+		vsp.End()
 		res.Levels = append(res.Levels, levelFrom(g, res.Partitions, marked, neg.Name))
 	}
 	return res, nil

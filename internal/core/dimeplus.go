@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"dime/internal/entity"
+	"dime/internal/obs"
 	"dime/internal/partition"
 	"dime/internal/rules"
 	"dime/internal/signature"
@@ -19,16 +20,31 @@ func DIMEPlus(g *entity.Group, opts Options) (*Result, error) {
 	if err := opts.validate(g); err != nil {
 		return nil, err
 	}
+	run := obs.Start(opts.Probe, "dime+", obs.A("group", g.Name))
+	defer run.End()
+	sp := run.StartSpan(obs.PhaseRecordCompile)
 	recs, err := opts.Config.NewRecords(g)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.Count("records", int64(len(recs)))
+	sp.End()
 	res := &Result{Group: g, Pivot: -1}
 	n := len(recs)
 	if n == 0 {
 		return res, nil
 	}
+
+	sb := run.StartSpan(obs.PhaseSignatureBuild)
 	ctx := signature.NewContext(opts.Config, recs, opts.Rules)
+	indexes := make([]*signature.PosIndex, len(opts.Rules.Positive))
+	for ri, rule := range opts.Rules.Positive {
+		rsp := sb.StartSpan(obs.PhaseSignatureBuild, obs.A("rule", rule.Name))
+		indexes[ri] = signature.BuildPositive(ctx, rule, recs)
+		rsp.End()
+	}
+	sb.End()
 
 	// Step 1: candidates from the positive-rule signature indexes, verified
 	// under transitivity. Small candidate sets are verified in global
@@ -37,18 +53,21 @@ func DIMEPlus(g *entity.Group, opts Options) (*Result, error) {
 	// skips the bulk either way and the resulting partitions are identical,
 	// but sorting millions of candidates would cost more than it saves.
 	uf := partition.New(n)
+	perRuleCands := make([]int64, len(opts.Rules.Positive))
+	perRuleVerified := make([]int64, len(opts.Rules.Positive))
 	verify := func(i, j, rule int) {
 		if !opts.DisableTransitivitySkip && uf.Same(i, j) {
 			res.Stats.PositiveSkippedByTransitivity++
 			return
 		}
 		res.Stats.PositiveVerified++
+		perRuleVerified[rule]++
 		if opts.Rules.Positive[rule].Eval(recs[i], recs[j]) {
 			uf.Union(i, j)
 		}
 	}
 	sortLimit := opts.BenefitSortLimit
-	if sortLimit == 0 {
+	if sortLimit <= 0 {
 		sortLimit = 1 << 15
 	}
 	type posCand struct {
@@ -56,17 +75,18 @@ func DIMEPlus(g *entity.Group, opts Options) (*Result, error) {
 		rule    int32
 		benefit float64
 	}
-	indexes := make([]*signature.PosIndex, len(opts.Rules.Positive))
-	for ri, rule := range opts.Rules.Positive {
-		indexes[ri] = signature.BuildPositive(ctx, rule, recs)
-	}
 	var cands []posCand
 	sorting := !opts.DisableBenefitOrder
+	// Candidate generation: streaming verification (no benefit sort, or the
+	// sort limit overflowed) interleaves here; its verified counters still
+	// land on the positive-verify span below.
+	cg := run.StartSpan(obs.PhaseCandidateGen)
 	for ri := range indexes {
 		ix := indexes[ri]
 		rule := opts.Rules.Positive[ri]
 		ix.ForEach(func(c signature.Candidate) {
 			res.Stats.PositivePairsConsidered++
+			perRuleCands[ri]++
 			if !sorting {
 				verify(c.I, c.J, ri)
 				return
@@ -97,6 +117,13 @@ func DIMEPlus(g *entity.Group, opts Options) (*Result, error) {
 			}
 		})
 	}
+	cg.Count("candidates", res.Stats.PositivePairsConsidered)
+	for ri, rule := range opts.Rules.Positive {
+		cg.Count("candidates/"+rule.Name, perRuleCands[ri])
+	}
+	cg.End()
+
+	pv := run.StartSpan(obs.PhasePositiveVerify)
 	if sorting {
 		slices.SortFunc(cands, func(a, b posCand) int {
 			switch {
@@ -116,42 +143,17 @@ func DIMEPlus(g *entity.Group, opts Options) (*Result, error) {
 			verify(int(pc.i), int(pc.j), int(pc.rule))
 		}
 	}
+	pv.Count("verified", res.Stats.PositiveVerified)
+	pv.Count("skipped-transitivity", res.Stats.PositiveSkippedByTransitivity)
+	for ri, rule := range opts.Rules.Positive {
+		pv.Count("verified/"+rule.Name, perRuleVerified[ri])
+	}
+	pv.End()
 	res.Partitions = uf.Sets()
 
-	// Step 2: pivot partition.
-	res.Pivot = pivotOf(res.Partitions)
-	pivotIdx := res.Partitions[res.Pivot]
-	pivotRecs := make([]*rules.Record, len(pivotIdx))
-	for k, ei := range pivotIdx {
-		pivotRecs[k] = recs[ei]
-	}
-
-	// Step 3: negative rules in sequence with signature filtering.
-	marked := make(map[int]bool)
-	res.Witnesses = make(map[int]Witness)
-	for _, neg := range opts.Rules.Negative {
-		nf := signature.BuildNegative(ctx, neg, pivotRecs)
-		for pi, part := range res.Partitions {
-			if pi == res.Pivot || marked[pi] {
-				continue
-			}
-			partRecs := make([]*rules.Record, len(part))
-			for k, ei := range part {
-				partRecs[k] = recs[ei]
-			}
-			if nf.PartitionMustSatisfy(partRecs) {
-				marked[pi] = true
-				res.Stats.PartitionsFilteredBySignature++
-				res.Witnesses[pi] = Witness{Rule: neg.Name}
-				continue
-			}
-			if w, ok := plusMarkPartition(res, nf, neg, partRecs, pivotRecs, opts); ok {
-				marked[pi] = true
-				res.Witnesses[pi] = w
-			}
-		}
-		res.Levels = append(res.Levels, levelFrom(g, res.Partitions, marked, neg.Name))
-	}
+	// Steps 2 and 3: pivot partition, then the negative rules in sequence
+	// with signature filtering (shared with Session.Result).
+	applyNegativeRules(res, run, ctx, recs, opts)
 	return res, nil
 }
 

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"dime/internal/obs"
+	"dime/internal/rules"
+	"dime/internal/signature"
+)
+
+// applyNegativeRules runs pivot selection and the negative-rule sequence
+// (steps 2–3 of Algorithm 2) over res.Partitions; DIMEPlus and
+// Session.Result share it. For each negative rule the partition-level
+// signature filter sweeps first (negative-filter phase: partitions whose
+// signature unions are provably disjoint from the pivot's are marked without
+// any verification), then the surviving partitions are probed and verified
+// in benefit order (negative-verify phase). The two sub-passes touch
+// disjoint partitions, so splitting them per rule changes neither the marked
+// set nor the stats relative to the historical interleaved loop.
+func applyNegativeRules(res *Result, run obs.Span, ctx *signature.Context, recs []*rules.Record, opts Options) {
+	res.Pivot = pivotOf(res.Partitions)
+	pivotIdx := res.Partitions[res.Pivot]
+	pivotRecs := make([]*rules.Record, len(pivotIdx))
+	for k, ei := range pivotIdx {
+		pivotRecs[k] = recs[ei]
+	}
+
+	type survivor struct {
+		pi   int
+		recs []*rules.Record
+	}
+	marked := make(map[int]bool)
+	res.Witnesses = make(map[int]Witness)
+	for _, neg := range opts.Rules.Negative {
+		fsp := run.StartSpan(obs.PhaseNegativeFilter, obs.A("rule", neg.Name))
+		nf := signature.BuildNegative(ctx, neg, pivotRecs)
+		filteredBefore := res.Stats.PartitionsFilteredBySignature
+		var survivors []survivor
+		for pi, part := range res.Partitions {
+			if pi == res.Pivot || marked[pi] {
+				continue
+			}
+			partRecs := make([]*rules.Record, len(part))
+			for k, ei := range part {
+				partRecs[k] = recs[ei]
+			}
+			if nf.PartitionMustSatisfy(partRecs) {
+				marked[pi] = true
+				res.Stats.PartitionsFilteredBySignature++
+				res.Witnesses[pi] = Witness{Rule: neg.Name}
+				continue
+			}
+			survivors = append(survivors, survivor{pi: pi, recs: partRecs})
+		}
+		fsp.Count("partitions-filtered", res.Stats.PartitionsFilteredBySignature-filteredBefore)
+		fsp.End()
+
+		vsp := run.StartSpan(obs.PhaseNegativeVerify, obs.A("rule", neg.Name))
+		verifiedBefore := res.Stats.NegativeVerified
+		certainBefore := res.Stats.CertainPairsBySignature
+		for _, sv := range survivors {
+			if w, ok := plusMarkPartition(res, nf, neg, sv.recs, pivotRecs, opts); ok {
+				marked[sv.pi] = true
+				res.Witnesses[sv.pi] = w
+			}
+		}
+		vsp.Count("verified", res.Stats.NegativeVerified-verifiedBefore)
+		vsp.Count("certain-pairs", res.Stats.CertainPairsBySignature-certainBefore)
+		vsp.End()
+		res.Levels = append(res.Levels, levelFrom(res.Group, res.Partitions, marked, neg.Name))
+	}
+}

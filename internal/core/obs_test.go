@@ -1,0 +1,282 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"dime/internal/fixtures"
+	"dime/internal/obs"
+)
+
+// TestDIMEPlusProbeObservesPhases checks the tentpole contract: a recording
+// probe sees all six pipeline phases under one run span, nested and ordered
+// the way the algorithm executes them, with counters that agree exactly with
+// the Stats the run reports — and the probe changes nothing about the result.
+func TestDIMEPlusProbeObservesPhases(t *testing.T) {
+	g := fixtures.Figure1Group()
+	opts := paperOptions()
+	base, err := DIMEPlus(fixtures.Figure1Group(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := obs.NewTrace()
+	opts.Probe = tr
+	res, err := DIMEPlus(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(res.Stats, base.Stats) {
+		t.Fatalf("probe changed stats: %+v vs %+v", res.Stats, base.Stats)
+	}
+	if !reflect.DeepEqual(partitionIDs(g, res.Partitions), partitionIDs(base.Group, base.Partitions)) {
+		t.Fatalf("probe changed partitions")
+	}
+	if !reflect.DeepEqual(res.Levels, base.Levels) {
+		t.Fatalf("probe changed levels: %+v vs %+v", res.Levels, base.Levels)
+	}
+
+	runs := tr.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(runs))
+	}
+	run := runs[0]
+	if run.Name != "dime+" || run.Attrs["group"] != g.Name {
+		t.Fatalf("run = %q attrs %v", run.Name, run.Attrs)
+	}
+
+	// Top-level phases appear in execution order: the four positive-side
+	// phases once, then a filter/verify pair per negative rule.
+	var wantOrder []string
+	wantOrder = append(wantOrder,
+		obs.PhaseRecordCompile, obs.PhaseSignatureBuild,
+		obs.PhaseCandidateGen, obs.PhasePositiveVerify)
+	for range opts.Rules.Negative {
+		wantOrder = append(wantOrder, obs.PhaseNegativeFilter, obs.PhaseNegativeVerify)
+	}
+	var gotOrder []string
+	for _, c := range run.Children {
+		gotOrder = append(gotOrder, c.Name)
+	}
+	if !reflect.DeepEqual(gotOrder, wantOrder) {
+		t.Fatalf("phase order = %v, want %v", gotOrder, wantOrder)
+	}
+
+	// Nesting: signature-build holds one child per positive rule; the
+	// negative spans carry the rule name in application order.
+	sb := run.Find(obs.PhaseSignatureBuild)
+	if len(sb.Children) != len(opts.Rules.Positive) {
+		t.Fatalf("signature-build children = %d, want %d", len(sb.Children), len(opts.Rules.Positive))
+	}
+	for i, c := range sb.Children {
+		if c.Attrs["rule"] != opts.Rules.Positive[i].Name {
+			t.Fatalf("signature-build child %d rule = %q", i, c.Attrs["rule"])
+		}
+	}
+	for i, span := range run.FindAll(obs.PhaseNegativeFilter) {
+		if span.Attrs["rule"] != opts.Rules.Negative[i].Name {
+			t.Fatalf("negative-filter %d rule = %q", i, span.Attrs["rule"])
+		}
+	}
+	for i, span := range run.FindAll(obs.PhaseNegativeVerify) {
+		if span.Attrs["rule"] != opts.Rules.Negative[i].Name {
+			t.Fatalf("negative-verify %d rule = %q", i, span.Attrs["rule"])
+		}
+	}
+
+	// Counters agree with Stats, both in total and per rule.
+	st := res.Stats
+	checks := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"candidates", run.Counter("candidates"), st.PositivePairsConsidered},
+		{"verified (positive)", run.Find(obs.PhasePositiveVerify).Counter("verified"), st.PositiveVerified},
+		{"skipped-transitivity", run.Counter("skipped-transitivity"), st.PositiveSkippedByTransitivity},
+		{"partitions-filtered", run.Counter("partitions-filtered"), st.PartitionsFilteredBySignature},
+		{"certain-pairs", run.Counter("certain-pairs"), st.CertainPairsBySignature},
+		{"records", run.Counter("records"), int64(len(g.Entities))},
+	}
+	var negVerified int64
+	for _, span := range run.FindAll(obs.PhaseNegativeVerify) {
+		negVerified += span.Counters["verified"]
+	}
+	checks = append(checks, struct {
+		name string
+		got  int64
+		want int64
+	}{"verified (negative)", negVerified, st.NegativeVerified})
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("counter %s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	var perRule int64
+	for _, r := range opts.Rules.Positive {
+		perRule += run.Counter("verified/" + r.Name)
+	}
+	if perRule != st.PositiveVerified {
+		t.Errorf("per-rule verified sum = %d, want %d", perRule, st.PositiveVerified)
+	}
+	var perRuleCands int64
+	for _, r := range opts.Rules.Positive {
+		perRuleCands += run.Counter("candidates/" + r.Name)
+	}
+	if perRuleCands != st.PositivePairsConsidered {
+		t.Errorf("per-rule candidates sum = %d, want %d", perRuleCands, st.PositivePairsConsidered)
+	}
+
+	// Every recorded span was ended (duration fixed) and starts no earlier
+	// than its parent.
+	var walk func(p, s *obs.TraceSpan)
+	walk = func(p, s *obs.TraceSpan) {
+		if s.DurNS < 0 {
+			t.Errorf("span %s has negative duration", s.Name)
+		}
+		if p != nil && s.StartNS < p.StartNS {
+			t.Errorf("span %s starts before parent %s", s.Name, p.Name)
+		}
+		for _, c := range s.Children {
+			walk(s, c)
+		}
+	}
+	walk(nil, run)
+}
+
+// TestDIMEProbeObservesPhases checks the basic algorithm's slimmer span set:
+// no signature machinery, so only record-compile, positive-verify, and one
+// negative-verify per rule.
+func TestDIMEProbeObservesPhases(t *testing.T) {
+	g := fixtures.Figure1Group()
+	opts := paperOptions()
+	tr := obs.NewTrace()
+	opts.Probe = tr
+	res, err := DIME(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := tr.Runs()
+	if len(runs) != 1 || runs[0].Name != "dime" {
+		t.Fatalf("runs = %+v", runs)
+	}
+	run := runs[0]
+	wantOrder := []string{obs.PhaseRecordCompile, obs.PhasePositiveVerify}
+	for range opts.Rules.Negative {
+		wantOrder = append(wantOrder, obs.PhaseNegativeVerify)
+	}
+	var gotOrder []string
+	for _, c := range run.Children {
+		gotOrder = append(gotOrder, c.Name)
+	}
+	if !reflect.DeepEqual(gotOrder, wantOrder) {
+		t.Fatalf("phase order = %v, want %v", gotOrder, wantOrder)
+	}
+	if got := run.Counter("verified"); got != res.Stats.PositiveVerified+res.Stats.NegativeVerified {
+		t.Errorf("verified = %d, want %d", got, res.Stats.PositiveVerified+res.Stats.NegativeVerified)
+	}
+}
+
+// TestSessionProbeObservesPhases drives a session end to end with a probe
+// attached: the initial rebuild, one incremental Add, and Result must emit
+// their own runs, covering all six phases between them, with counters that
+// match the session's final stats.
+func TestSessionProbeObservesPhases(t *testing.T) {
+	g := fixtures.Figure1Group()
+	last := g.Entities[len(g.Entities)-1]
+	g.Entities = g.Entities[:len(g.Entities)-1]
+
+	opts := paperOptions()
+	tr := obs.NewTrace()
+	opts.Probe = tr
+	s, err := NewSession(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(last); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runs := tr.Runs()
+	var names []string
+	for _, r := range runs {
+		names = append(names, r.Name)
+	}
+	want := []string{"session-rebuild", "session-add", "session-result"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("runs = %v, want %v", names, want)
+	}
+
+	seen := make(map[string]bool)
+	for _, r := range runs {
+		var mark func(s *obs.TraceSpan)
+		mark = func(s *obs.TraceSpan) {
+			seen[s.Name] = true
+			for _, c := range s.Children {
+				mark(c)
+			}
+		}
+		mark(r)
+	}
+	for _, phase := range []string{
+		obs.PhaseRecordCompile, obs.PhaseSignatureBuild, obs.PhaseCandidateGen,
+		obs.PhasePositiveVerify, obs.PhaseNegativeFilter, obs.PhaseNegativeVerify,
+	} {
+		if !seen[phase] {
+			t.Errorf("phase %s never observed across session runs", phase)
+		}
+	}
+
+	var candidates, verified int64
+	for _, r := range runs {
+		candidates += r.Counter("candidates")
+		if pv := r.Find(obs.PhasePositiveVerify); pv != nil {
+			verified += pv.Counter("verified")
+		}
+	}
+	if candidates != res.Stats.PositivePairsConsidered {
+		t.Errorf("candidates = %d, want %d", candidates, res.Stats.PositivePairsConsidered)
+	}
+	if verified != res.Stats.PositiveVerified {
+		t.Errorf("verified = %d, want %d", verified, res.Stats.PositiveVerified)
+	}
+}
+
+// TestBenefitSortLimitNonPositive checks the satellite fix: zero and negative
+// BenefitSortLimit both select the default, and a tiny positive limit (forced
+// streaming) still yields identical discoveries and partitions.
+func TestBenefitSortLimitNonPositive(t *testing.T) {
+	base, err := DIMEPlus(fixtures.Figure1Group(), paperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int{-1, -100, 0, 1, 1 << 20} {
+		opts := paperOptions()
+		opts.BenefitSortLimit = limit
+		g := fixtures.Figure1Group()
+		res, err := DIMEPlus(g, opts)
+		if err != nil {
+			t.Fatalf("limit %d: %v", limit, err)
+		}
+		if !reflect.DeepEqual(res.Final(), base.Final()) {
+			t.Errorf("limit %d: final = %v, want %v", limit, res.Final(), base.Final())
+		}
+		if !reflect.DeepEqual(partitionIDs(g, res.Partitions), partitionIDs(base.Group, base.Partitions)) {
+			t.Errorf("limit %d: partitions diverged", limit)
+		}
+	}
+}
+
+// TestStatsAdd checks field-wise accumulation.
+func TestStatsAdd(t *testing.T) {
+	a := Stats{1, 2, 3, 4, 5, 6}
+	a.Add(Stats{10, 20, 30, 40, 50, 60})
+	if want := (Stats{11, 22, 33, 44, 55, 66}); a != want {
+		t.Fatalf("sum = %+v, want %+v", a, want)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"dime/internal/entity"
+	"dime/internal/obs"
 	"dime/internal/partition"
 	"dime/internal/rules"
 	"dime/internal/signature"
@@ -50,21 +51,43 @@ func NewSession(g *entity.Group, opts Options) (*Session, error) {
 
 // rebuild constructs the full step-1 state from the current group contents.
 func (s *Session) rebuild() error {
+	run := obs.Start(s.opts.Probe, "session-rebuild", obs.A("group", s.group.Name))
+	defer run.End()
+	sp := run.StartSpan(obs.PhaseRecordCompile)
 	recs, err := s.opts.Config.NewRecords(s.group)
 	if err != nil {
+		sp.End()
 		return err
 	}
+	sp.Count("records", int64(len(recs)))
+	sp.End()
 	s.recs = recs
+	sb := run.StartSpan(obs.PhaseSignatureBuild)
 	s.ctx = signature.NewContext(s.opts.Config, recs, s.opts.Rules)
 	s.uf = partition.New(len(recs))
 	s.indexes = make([]*signature.PosIndex, len(s.opts.Rules.Positive))
 	for ri, rule := range s.opts.Rules.Positive {
-		ix := signature.BuildPositive(s.ctx, rule, recs)
-		s.indexes[ri] = ix
-		ix.ForEach(func(c signature.Candidate) {
+		rsp := sb.StartSpan(obs.PhaseSignatureBuild, obs.A("rule", rule.Name))
+		s.indexes[ri] = signature.BuildPositive(s.ctx, rule, recs)
+		rsp.End()
+	}
+	sb.End()
+	// The session always verifies streaming, so verification interleaves
+	// with candidate generation here; verified counters land on the
+	// positive-verify span for consistency with DIMEPlus.
+	before := s.stats
+	cg := run.StartSpan(obs.PhaseCandidateGen)
+	for ri := range s.indexes {
+		s.indexes[ri].ForEach(func(c signature.Candidate) {
 			s.verify(c.I, c.J, ri)
 		})
 	}
+	cg.Count("candidates", s.stats.PositivePairsConsidered-before.PositivePairsConsidered)
+	cg.End()
+	pv := run.StartSpan(obs.PhasePositiveVerify)
+	pv.Count("verified", s.stats.PositiveVerified-before.PositiveVerified)
+	pv.Count("skipped-transitivity", s.stats.PositiveSkippedByTransitivity-before.PositiveSkippedByTransitivity)
+	pv.End()
 	return nil
 }
 
@@ -90,26 +113,42 @@ func (s *Session) Add(e *entity.Entity) (rebuilt bool, err error) {
 	if err := s.group.Add(e); err != nil {
 		return false, err
 	}
+	run := obs.Start(s.opts.Probe, "session-add", obs.A("group", s.group.Name), obs.A("entity", e.ID))
+	defer run.End()
+	sp := run.StartSpan(obs.PhaseRecordCompile)
 	rec, err := s.opts.Config.NewRecord(e)
 	if err != nil {
+		sp.End()
 		// Roll the group back so the session stays consistent.
 		s.group.Entities = s.group.Entities[:len(s.group.Entities)-1]
 		return false, fmt.Errorf("core: compiling %q: %w", e.ID, err)
 	}
+	sp.End()
 	if !s.ctx.Accepts(rec, s.opts.Rules) {
+		run.Count("rebuilds", 1)
 		return true, s.rebuild()
 	}
 	rec.Index = len(s.recs)
 	s.recs = append(s.recs, rec)
+	sb := run.StartSpan(obs.PhaseSignatureBuild)
 	s.ctx.Append(rec)
+	sb.End()
 	if got := s.uf.Grow(); got != rec.Index {
 		return false, fmt.Errorf("core: union-find index %d out of sync with record %d", got, rec.Index)
 	}
+	before := s.stats
+	cg := run.StartSpan(obs.PhaseCandidateGen)
 	for ri, ix := range s.indexes {
 		for _, c := range ix.Add(s.ctx, rec) {
 			s.verify(c.I, c.J, ri)
 		}
 	}
+	cg.Count("candidates", s.stats.PositivePairsConsidered-before.PositivePairsConsidered)
+	cg.End()
+	pv := run.StartSpan(obs.PhasePositiveVerify)
+	pv.Count("verified", s.stats.PositiveVerified-before.PositiveVerified)
+	pv.Count("skipped-transitivity", s.stats.PositiveSkippedByTransitivity-before.PositiveSkippedByTransitivity)
+	pv.End()
 	return false, nil
 }
 
@@ -120,43 +159,14 @@ func (s *Session) Size() int { return len(s.recs) }
 // partitions and returns a full Result, identical to what DIMEPlus would
 // produce on the group from scratch.
 func (s *Session) Result() (*Result, error) {
+	run := obs.Start(s.opts.Probe, "session-result", obs.A("group", s.group.Name))
+	defer run.End()
 	res := &Result{Group: s.group, Pivot: -1, Stats: s.stats}
 	if len(s.recs) == 0 {
 		return res, nil
 	}
 	res.Partitions = s.uf.Sets()
-	res.Pivot = pivotOf(res.Partitions)
-	pivotIdx := res.Partitions[res.Pivot]
-	pivotRecs := make([]*rules.Record, len(pivotIdx))
-	for k, ei := range pivotIdx {
-		pivotRecs[k] = s.recs[ei]
-	}
-
-	marked := make(map[int]bool)
-	res.Witnesses = make(map[int]Witness)
-	for _, neg := range s.opts.Rules.Negative {
-		nf := signature.BuildNegative(s.ctx, neg, pivotRecs)
-		for pi, part := range res.Partitions {
-			if pi == res.Pivot || marked[pi] {
-				continue
-			}
-			partRecs := make([]*rules.Record, len(part))
-			for k, ei := range part {
-				partRecs[k] = s.recs[ei]
-			}
-			if nf.PartitionMustSatisfy(partRecs) {
-				marked[pi] = true
-				res.Stats.PartitionsFilteredBySignature++
-				res.Witnesses[pi] = Witness{Rule: neg.Name}
-				continue
-			}
-			if w, ok := plusMarkPartition(res, nf, neg, partRecs, pivotRecs, s.opts); ok {
-				marked[pi] = true
-				res.Witnesses[pi] = w
-			}
-		}
-		res.Levels = append(res.Levels, levelFrom(s.group, res.Partitions, marked, neg.Name))
-	}
+	applyNegativeRules(res, run, s.ctx, s.recs, s.opts)
 	s.stats = res.Stats
 	return res, nil
 }

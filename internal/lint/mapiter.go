@@ -9,13 +9,16 @@ import (
 // DefaultResultPackages lists the package-path suffixes whose emission order
 // reaches users: the scrollbar levels in internal/core, rule evaluation and
 // serialization in internal/rules, profiling output in internal/analysis,
-// plus the entity and signature packages whose ID lists feed those paths.
+// the entity and signature packages whose ID lists feed those paths, and the
+// observability exports in internal/obs (trace JSON, /metrics text), which
+// must be byte-stable so traces and metric dumps diff cleanly across runs.
 var DefaultResultPackages = []string{
 	"internal/core",
 	"internal/rules",
 	"internal/analysis",
 	"internal/entity",
 	"internal/signature",
+	"internal/obs",
 }
 
 // MapIter is the mapiter-determinism analyzer: in result-producing packages

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns an http.ServeMux exposing the standard Go debug surface
+// plus this package's registry:
+//
+//	/debug/pprof/   CPU, heap, goroutine, ... profiles (net/http/pprof)
+//	/debug/vars     expvar JSON (includes the registry once published)
+//	/metrics        the registry's sorted plaintext dump
+//	/               a plain index of the above
+//
+// A nil registry uses Default().
+func DebugMux(r *Registry) *http.ServeMux {
+	if r == nil {
+		r = Default()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := r.WriteText(w); err != nil {
+			// The connection died mid-dump; nothing useful left to do.
+			return
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "dime debug server")
+		fmt.Fprintln(w, "  /debug/pprof/  profiles")
+		fmt.Fprintln(w, "  /debug/vars    expvar JSON")
+		fmt.Fprintln(w, "  /metrics       metrics registry dump")
+	})
+	return mux
+}
+
+// DebugServer is a running debug HTTP server; Close shuts it down.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and its listener.
+func (s *DebugServer) Close() error { return s.srv.Close() }
+
+// ServeDebug binds addr (e.g. ":6060", "127.0.0.1:0") and serves DebugMux in
+// a background goroutine, so long batch and experiment runs can be profiled
+// live. It publishes the registry to expvar under "dime" first, so
+// /debug/vars carries the same numbers as /metrics. A nil registry uses
+// Default().
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	if r == nil {
+		r = Default()
+	}
+	r.PublishExpvar("dime")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: DebugMux(r)}
+	go func() {
+		// Serve returns ErrServerClosed on Close; other errors have no
+		// receiver once we are detached.
+		_ = srv.Serve(ln)
+	}()
+	return &DebugServer{srv: srv, ln: ln}, nil
+}

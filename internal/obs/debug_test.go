@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeDebugEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dime.test.hits").Add(3)
+	srv, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := client.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ → %d, body %.80q", code, body)
+	}
+	code, body := get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars → %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	dime, ok := vars["dime"].(map[string]any)
+	if !ok {
+		t.Fatalf("/debug/vars missing published registry: %v", vars)
+	}
+	if fmt.Sprint(dime["dime.test.hits"]) != "3" {
+		t.Errorf("published counter = %v", dime["dime.test.hits"])
+	}
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "dime.test.hits 3") {
+		t.Errorf("/metrics → %d, body %q", code, body)
+	}
+	if code, body := get("/"); code != http.StatusOK || !strings.Contains(body, "dime debug server") {
+		t.Errorf("/ → %d, body %q", code, body)
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope → %d, want 404", code)
+	}
+}
+
+func TestServeDebugBadAddr(t *testing.T) {
+	if _, err := ServeDebug("256.256.256.256:99999", NewRegistry()); err == nil {
+		t.Fatal("expected listen error")
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestStartNilProbeIsNop(t *testing.T) {
+	sp := Start(nil, "run", A("group", "g"))
+	if sp != NopSpan {
+		t.Fatalf("Start(nil) = %v, want NopSpan", sp)
+	}
+	child := sp.StartSpan("phase")
+	if child != NopSpan {
+		t.Fatalf("nop child = %v, want NopSpan", child)
+	}
+	child.Count("n", 1) // must not panic
+	child.End()
+	sp.End()
+}
+
+func TestMultiFansOut(t *testing.T) {
+	t1, t2 := NewTrace(), NewTrace()
+	p := Multi(nil, t1, nil, t2)
+	run := Start(p, "run")
+	run.StartSpan("phase").End()
+	run.Count("n", 3)
+	run.End()
+	for i, tr := range []*Trace{t1, t2} {
+		runs := tr.Runs()
+		if len(runs) != 1 || runs[0].Name != "run" {
+			t.Fatalf("trace %d: runs = %+v", i, runs)
+		}
+		if len(runs[0].Children) != 1 || runs[0].Children[0].Name != "phase" {
+			t.Fatalf("trace %d: children = %+v", i, runs[0].Children)
+		}
+		if runs[0].Counters["n"] != 3 {
+			t.Fatalf("trace %d: counter = %d", i, runs[0].Counters["n"])
+		}
+	}
+}
+
+func TestMultiCollapses(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("Multi with no live probes must be nil")
+	}
+	tr := NewTrace()
+	if got := Multi(nil, tr); got != Probe(tr) {
+		t.Fatalf("Multi with one live probe should return it, got %v", got)
+	}
+}
+
+func TestLoggedEmitsSpans(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, slog.LevelDebug)
+	p := Logged(l, slog.LevelInfo)
+	run := Start(p, "run", A("group", "g1"))
+	sp := run.StartSpan("candidate-gen")
+	sp.Count("candidates", 42)
+	sp.End()
+	run.End()
+	out := buf.String()
+	for _, want := range []string{"msg=run", "group=g1", "msg=candidate-gen", "candidates=42", "dur="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %q:\n%s", want, out)
+		}
+	}
+	if Logged(nil, slog.LevelInfo) != nil {
+		t.Fatal("Logged(nil) must be nil")
+	}
+}
+
+func TestWithRunScopesAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	l := WithRun(NewLogger(&buf, slog.LevelInfo), "dime+", "page-1")
+	l.Info("hello")
+	out := buf.String()
+	for _, want := range []string{"run=", "algo=dime+", "group=page-1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scoped log missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a process-wide metrics store: named counters, gauges and
+// fixed-bucket histograms, all updated with atomics so hot paths never take
+// a lock. It snapshots to expvar (PublishExpvar) and dumps as sorted
+// plaintext for the /metrics endpoint of ServeDebug.
+type Registry struct {
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	published bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+var std = NewRegistry()
+
+// named pairs a metric with its registry name for sorted dumps.
+type named[T any] struct {
+	name string
+	v    T
+}
+
+// Default returns the shared process-wide registry the CLI tools publish.
+func Default() *Registry { return std }
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable float64 (worker counts, queue depths, last run sizes).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram: counts per upper bound plus an
+// overflow bucket, a total count and a value sum. Observations are atomic.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last bucket is +Inf
+	total  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// LatencyBuckets is the default bound set for phase latencies, in seconds:
+// a microsecond to a minute on a roughly logarithmic grid.
+var LatencyBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v; len(bounds) = overflow
+	h.counts[idx].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Buckets returns the upper bounds and the (non-cumulative) per-bucket
+// counts; the final count is the overflow bucket (+Inf).
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	bounds = append(bounds, h.bounds...)
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return bounds, counts
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram. The bounds
+// of the first creation win; they are copied and sorted ascending. Nil or
+// empty bounds fall back to LatencyBuckets.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if len(bounds) == 0 {
+			bounds = LatencyBuckets
+		}
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a flat name → value view: counters as int64, gauges as
+// float64, histograms as {count, sum, buckets} maps. This is what expvar
+// publishes.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		bounds, counts := h.Buckets()
+		buckets := make(map[string]int64, len(counts))
+		for i, n := range counts {
+			le := "+Inf"
+			if i < len(bounds) {
+				le = strconv.FormatFloat(bounds[i], 'g', -1, 64)
+			}
+			buckets[le] = n
+		}
+		out[name] = map[string]any{"count": h.Count(), "sum": h.Sum(), "buckets": buckets}
+	}
+	return out
+}
+
+// WriteText dumps the registry as sorted plaintext, one metric per line:
+// counters and gauges as `name value`, histograms as `name.count`,
+// `name.sum` and cumulative `name.le.<bound>` lines. The format is for
+// humans and scrapers of the /metrics endpoint; it is not a stable API.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	counters := make([]named[*Counter], 0, len(r.counters))
+	for name, c := range r.counters {
+		counters = append(counters, named[*Counter]{name, c})
+	}
+	gauges := make([]named[*Gauge], 0, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges = append(gauges, named[*Gauge]{name, g})
+	}
+	hists := make([]named[*Histogram], 0, len(r.hists))
+	for name, h := range r.hists {
+		hists = append(hists, named[*Histogram]{name, h})
+	}
+	r.mu.Unlock()
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.name, c.v.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "%s %g\n", g.name, g.v.Value()); err != nil {
+			return err
+		}
+	}
+	for _, hs := range hists {
+		bounds, counts := hs.v.Buckets()
+		if _, err := fmt.Fprintf(w, "%s.count %d\n%s.sum %g\n", hs.name, hs.v.Count(), hs.name, hs.v.Sum()); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, n := range counts {
+			cum += n
+			le := "+Inf"
+			if i < len(bounds) {
+				le = strconv.FormatFloat(bounds[i], 'g', -1, 64)
+			}
+			if _, err := fmt.Fprintf(w, "%s.le.%s %d\n", hs.name, le, cum); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PublishExpvar publishes the registry under the given expvar name (once;
+// later calls with any name are no-ops for this registry). The snapshot is
+// computed on demand by the expvar handler.
+func (r *Registry) PublishExpvar(name string) {
+	r.mu.Lock()
+	already := r.published
+	r.published = true
+	r.mu.Unlock()
+	if already || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

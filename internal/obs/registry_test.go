@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	r.Counter("c").Add(3)
+	if got := r.Counter("c").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	r.Gauge("g").Set(2.5)
+	if got := r.Gauge("g").Value(); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("hist count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-5060.5) > 1e-9 {
+		t.Fatalf("hist sum = %g", h.Sum())
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("buckets = %v / %v", bounds, counts)
+	}
+	want := []int64{1, 2, 1, 1} // ≤1, ≤10, ≤100, overflow
+	for i, n := range want {
+		if counts[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, counts[i], n, counts)
+		}
+	}
+	// Same name returns the same histogram; first bounds win.
+	if r.Histogram("h", []float64{7}) != h {
+		t.Fatal("histogram not deduplicated by name")
+	}
+}
+
+func TestRegistryDefaultBucketsAndUnsortedBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", nil)
+	bounds, _ := h.Buckets()
+	if len(bounds) != len(LatencyBuckets) {
+		t.Fatalf("default bounds = %v", bounds)
+	}
+	h2 := r.Histogram("rev", []float64{10, 1})
+	bounds2, _ := h2.Buckets()
+	if bounds2[0] > bounds2[1] {
+		t.Fatalf("bounds not sorted: %v", bounds2)
+	}
+}
+
+func TestRegistryWriteTextSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.count").Add(9)
+	r.Counter("a.count").Add(1)
+	r.Gauge("m.gauge").Set(3)
+	r.Histogram("lat", []float64{1}).Observe(0.5)
+	r.Histogram("lat", nil).Observe(2)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	wantLines := []string{
+		"a.count 1",
+		"z.count 9",
+		"m.gauge 3",
+		"lat.count 2",
+		"lat.sum 2.5",
+		"lat.le.1 1",
+		"lat.le.+Inf 2",
+	}
+	for i, want := range wantLines {
+		if lines[i] != want {
+			t.Fatalf("line %d = %q, want %q\nfull dump:\n%s", i, lines[i], want, out)
+		}
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	if snap["c"] != int64(7) {
+		t.Fatalf("snapshot c = %v", snap["c"])
+	}
+	g, ok := snap["g"].(float64)
+	if !ok || math.Abs(g-1.5) > 1e-12 {
+		t.Fatalf("snapshot g = %v", snap["g"])
+	}
+	hm, ok := snap["h"].(map[string]any)
+	if !ok || hm["count"] != int64(1) {
+		t.Fatalf("snapshot h = %v", snap["h"])
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("c").Add(1)
+				r.Histogram("h", nil).Observe(0.001)
+				r.Gauge("g").Set(float64(j))
+			}
+		}()
+	}
+	var sb strings.Builder
+	for i := 0; i < 20; i++ {
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8*500 {
+		t.Fatalf("c = %d, want %d", got, 8*500)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8*500 {
+		t.Fatalf("h count = %d, want %d", got, 8*500)
+	}
+}
+
+func TestObserverFeedsRegistry(t *testing.T) {
+	r := NewRegistry()
+	p := Observer(r)
+	run := Start(p, "dime+", A("group", "g"))
+	sp := run.StartSpan(PhaseCandidateGen)
+	sp.Count("candidates", 11)
+	sp.End()
+	rsp := run.StartSpan(PhaseNegativeVerify, A("rule", "n1"))
+	rsp.Count("verified", 4)
+	rsp.End()
+	run.End()
+
+	if got := r.Counter("dime." + PhaseCandidateGen + ".candidates").Value(); got != 11 {
+		t.Fatalf("candidates counter = %d", got)
+	}
+	if got := r.Counter("dime." + PhaseNegativeVerify + ".verified").Value(); got != 4 {
+		t.Fatalf("verified counter = %d", got)
+	}
+	if got := r.Histogram("dime.phase."+PhaseCandidateGen+".seconds", nil).Count(); got != 1 {
+		t.Fatalf("phase histogram count = %d", got)
+	}
+	if got := r.Histogram("dime.rule.n1."+PhaseNegativeVerify+".seconds", nil).Count(); got != 1 {
+		t.Fatalf("per-rule histogram count = %d", got)
+	}
+	if got := r.Histogram("dime.phase.dime+.seconds", nil).Count(); got != 1 {
+		t.Fatalf("run histogram count = %d", got)
+	}
+}

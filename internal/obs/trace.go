@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace is a recording probe: it builds one span tree per StartRun with
+// monotonic timings and per-span counters, and exports the whole thing as
+// JSON — the `dime -trace out.json` format, stable enough to diff across
+// commits (timings aside). Safe for concurrent use; spans lock the trace
+// only at phase boundaries.
+type Trace struct {
+	mu   sync.Mutex
+	base time.Time
+	runs []*TraceSpan
+}
+
+// NewTrace returns an empty trace whose span offsets are measured from now.
+func NewTrace() *Trace { return &Trace{base: time.Now()} }
+
+// TraceSpan is one recorded span. StartNS is the monotonic offset from trace
+// creation; DurNS is the span duration. Both are nanoseconds.
+type TraceSpan struct {
+	Name     string            `json:"name"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	StartNS  int64             `json:"start_ns"`
+	DurNS    int64             `json:"dur_ns"`
+	Counters map[string]int64  `json:"counters,omitempty"`
+	Children []*TraceSpan      `json:"children,omitempty"`
+}
+
+// Find returns the first child (depth-first, pre-order) named name, or nil.
+func (s *TraceSpan) Find(name string) *TraceSpan {
+	for _, c := range s.Children {
+		if c.Name == name {
+			return c
+		}
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// FindAll returns every descendant named name in pre-order.
+func (s *TraceSpan) FindAll(name string) []*TraceSpan {
+	var out []*TraceSpan
+	for _, c := range s.Children {
+		if c.Name == name {
+			out = append(out, c)
+		}
+		out = append(out, c.FindAll(name)...)
+	}
+	return out
+}
+
+// Counter returns the named counter summed over this span and every
+// descendant.
+func (s *TraceSpan) Counter(name string) int64 {
+	total := s.Counters[name]
+	for _, c := range s.Children {
+		total += c.Counter(name)
+	}
+	return total
+}
+
+// StartRun implements Probe.
+func (t *Trace) StartRun(name string, attrs ...Attr) Span {
+	return t.newSpan(nil, name, attrs)
+}
+
+func (t *Trace) newSpan(parent *TraceSpan, name string, attrs []Attr) Span {
+	now := time.Now()
+	node := &TraceSpan{Name: name, StartNS: now.Sub(t.base).Nanoseconds()}
+	if len(attrs) > 0 {
+		node.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			node.Attrs[a.Key] = a.Value
+		}
+	}
+	t.mu.Lock()
+	if parent == nil {
+		t.runs = append(t.runs, node)
+	} else {
+		parent.Children = append(parent.Children, node)
+	}
+	t.mu.Unlock()
+	return &traceSpan{t: t, node: node, start: now}
+}
+
+type traceSpan struct {
+	t     *Trace
+	node  *TraceSpan
+	start time.Time
+	ended bool
+}
+
+func (s *traceSpan) StartSpan(phase string, attrs ...Attr) Span {
+	return s.t.newSpan(s.node, phase, attrs)
+}
+
+func (s *traceSpan) Count(name string, delta int64) {
+	s.t.mu.Lock()
+	if s.node.Counters == nil {
+		s.node.Counters = make(map[string]int64)
+	}
+	s.node.Counters[name] += delta
+	s.t.mu.Unlock()
+}
+
+func (s *traceSpan) End() {
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.t.mu.Lock()
+	s.node.DurNS = time.Since(s.start).Nanoseconds()
+	s.t.mu.Unlock()
+}
+
+// TraceExport is the JSON document a trace marshals to: the span trees plus
+// a counter snapshot aggregated over every span, keyed by counter name.
+type TraceExport struct {
+	Version  int              `json:"version"`
+	Tool     string           `json:"tool"`
+	Runs     []*TraceSpan     `json:"runs"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+// Export snapshots the trace. The returned spans are the live nodes; export
+// after the instrumented work has finished.
+func (t *Trace) Export() *TraceExport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ex := &TraceExport{Version: 1, Tool: "dime", Counters: make(map[string]int64)}
+	ex.Runs = append(ex.Runs, t.runs...)
+	for _, r := range t.runs {
+		aggregateCounters(r, ex.Counters)
+	}
+	return ex
+}
+
+func aggregateCounters(s *TraceSpan, into map[string]int64) {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		into[name] += s.Counters[name]
+	}
+	for _, c := range s.Children {
+		aggregateCounters(c, into)
+	}
+}
+
+// Runs returns the recorded root spans, in start order.
+func (t *Trace) Runs() []*TraceSpan {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*TraceSpan, len(t.runs))
+	copy(out, t.runs)
+	return out
+}
+
+// WriteJSON writes the indented JSON export. encoding/json emits map keys
+// sorted, so two traces of the same run differ only in timings.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(t.Export(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace()
+	run := tr.StartRun("run", A("group", "g"))
+	a := run.StartSpan("a")
+	a.Count("pairs", 10)
+	a.Count("pairs", 5)
+	aa := a.StartSpan("aa", A("rule", "r1"))
+	aa.Count("verified", 7)
+	aa.End()
+	a.End()
+	b := run.StartSpan("b")
+	b.End()
+	run.End()
+
+	runs := tr.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(runs))
+	}
+	root := runs[0]
+	if root.Name != "run" || root.Attrs["group"] != "g" {
+		t.Fatalf("root = %+v", root)
+	}
+	if len(root.Children) != 2 || root.Children[0].Name != "a" || root.Children[1].Name != "b" {
+		t.Fatalf("children = %+v", root.Children)
+	}
+	if root.Children[0].Counters["pairs"] != 15 {
+		t.Fatalf("pairs = %d, want 15", root.Children[0].Counters["pairs"])
+	}
+	if got := root.Find("aa"); got == nil || got.Attrs["rule"] != "r1" {
+		t.Fatalf("Find(aa) = %+v", got)
+	}
+	if got := root.Counter("verified"); got != 7 {
+		t.Fatalf("Counter(verified) = %d, want 7", got)
+	}
+	if root.DurNS <= 0 {
+		t.Fatal("run duration not recorded")
+	}
+	if root.Children[0].StartNS > root.Children[0].Children[0].StartNS+1 {
+		t.Fatal("child started before parent")
+	}
+}
+
+func TestTraceExportAggregatesCounters(t *testing.T) {
+	tr := NewTrace()
+	r1 := tr.StartRun("run")
+	r1.Count("verified", 3)
+	s := r1.StartSpan("phase")
+	s.Count("verified", 4)
+	s.End()
+	r1.End()
+	r2 := tr.StartRun("run")
+	r2.Count("verified", 5)
+	r2.End()
+
+	ex := tr.Export()
+	if len(ex.Runs) != 2 {
+		t.Fatalf("exported runs = %d, want 2", len(ex.Runs))
+	}
+	if ex.Counters["verified"] != 12 {
+		t.Fatalf("aggregated verified = %d, want 12", ex.Counters["verified"])
+	}
+	if ex.Version != 1 {
+		t.Fatalf("version = %d", ex.Version)
+	}
+}
+
+func TestTraceWriteJSONRoundTrips(t *testing.T) {
+	tr := NewTrace()
+	run := tr.StartRun("run", A("group", "g"))
+	run.StartSpan("phase").End()
+	run.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back TraceExport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(back.Runs) != 1 || back.Runs[0].Name != "run" ||
+		len(back.Runs[0].Children) != 1 || back.Runs[0].Children[0].Name != "phase" {
+		t.Fatalf("round-tripped trace = %+v", back.Runs)
+	}
+}
+
+func TestTraceConcurrentRuns(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run := tr.StartRun("run")
+			for j := 0; j < 50; j++ {
+				sp := run.StartSpan("phase")
+				sp.Count("n", 1)
+				sp.End()
+			}
+			run.End()
+		}()
+	}
+	wg.Wait()
+	ex := tr.Export()
+	if len(ex.Runs) != 16 {
+		t.Fatalf("runs = %d, want 16", len(ex.Runs))
+	}
+	if ex.Counters["n"] != 16*50 {
+		t.Fatalf("n = %d, want %d", ex.Counters["n"], 16*50)
+	}
+}

@@ -3,6 +3,7 @@ package rulegen
 import (
 	"fmt"
 
+	"dime/internal/obs"
 	"dime/internal/rules"
 )
 
@@ -13,7 +14,13 @@ import (
 // returned in generation order (negative rules are applied in that order).
 func Greedy(opts Options, examples []Example, kind rules.Kind) ([]rules.Rule, error) {
 	opts.defaults(kind)
+	run := obs.Start(opts.Probe, "rulegen", obs.A("kind", kind.String()))
+	defer run.End()
+	run.Count("examples", int64(len(examples)))
+	csp := run.StartSpan("candidate-predicates")
 	candidates, err := CandidatePredicates(opts, examples, kind)
+	csp.Count("candidates", int64(len(candidates)))
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -26,12 +33,17 @@ func Greedy(opts Options, examples []Example, kind rules.Kind) ([]rules.Rule, er
 	bestScore := 0 // the empty set covers nothing: score 0
 
 	for len(out) < opts.MaxRules {
+		rsp := run.StartSpan("greedy-rule")
 		rule, ok := greedyRule(opts, candidates, remaining, kind)
 		if !ok {
+			rsp.End()
 			break
 		}
 		trial := append(append([]rules.Rule(nil), out...), rule)
 		score := ScoreRuleSet(trial, examples, opts.Objective)
+		rsp.Count("predicates", int64(len(rule.Predicates)))
+		rsp.Count("score", int64(score))
+		rsp.End()
 		if score <= bestScore {
 			break
 		}
@@ -50,6 +62,7 @@ func Greedy(opts Options, examples []Example, kind rules.Kind) ([]rules.Rule, er
 			break
 		}
 	}
+	run.Count("rules", int64(len(out)))
 	for i := range out {
 		prefix := "gen+"
 		if kind == rules.Negative {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dime/internal/obs"
 	"dime/internal/rules"
 )
 
@@ -54,6 +55,10 @@ type Options struct {
 	// greedy search fast on large example sets: the retained thresholds are
 	// evenly spaced quantiles of the induced values.
 	MaxThresholds int
+	// Probe receives one run span per Greedy pass (candidate-predicate
+	// enumeration plus one child span per accepted rule); nil disables
+	// instrumentation.
+	Probe obs.Probe
 }
 
 func (o *Options) defaults(kind rules.Kind) {

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# bench.sh runs the repository's performance snapshot: the end-to-end
+# BenchmarkDIMEPlus pair (nil probe vs traced) at a meaningful iteration
+# count, plus a one-shot smoke of two experiment benches, all with -benchmem.
+# The combined output is converted by cmd/benchjson into BENCH_core.json,
+# the checked-in snapshot that lets perf regressions show up in review.
+#
+# Environment:
+#   BENCHTIME  benchtime for BenchmarkDIMEPlus (default 1s)
+#   BENCH_OUT  output JSON path (default BENCH_core.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+BENCH_OUT="${BENCH_OUT:-BENCH_core.json}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "== BenchmarkDIMEPlus (-benchtime=${BENCHTIME})"
+go test -run='^$' -bench='^BenchmarkDIMEPlus$' -benchmem -benchtime="${BENCHTIME}" . | tee "$tmp"
+
+echo "== experiment smoke (-benchtime=1x)"
+go test -run='^$' -bench='^BenchmarkExp(1Fig6|4TableI)$' -benchmem -benchtime=1x . | tee -a "$tmp"
+
+go run ./cmd/benchjson -o "${BENCH_OUT}" <"$tmp"
+echo "bench: wrote ${BENCH_OUT}"

@@ -24,4 +24,9 @@ echo "== fuzz smoke (${FUZZTIME} per target)"
 go test -run=NONE -fuzz=FuzzParseRule -fuzztime="${FUZZTIME}" ./internal/rules
 go test -run=NONE -fuzz=FuzzEditDistance -fuzztime="${FUZZTIME}" ./internal/sim
 
+if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
+    echo "== bench snapshot (CHECK_BENCH=1)"
+    ./scripts/bench.sh
+fi
+
 echo "check: all gates passed"
