@@ -200,6 +200,38 @@ func BenchmarkDIMEPlus(b *testing.B) {
 	})
 }
 
+// BenchmarkDIMEPlusParallel measures the intra-group worker path on a DBGen
+// group, whose eds(Name) positive rule is expensive enough per pair for the
+// speculative-evaluation chunks to matter. The sequential variant pins
+// IntraWorkers=1 (the historical path, and the baseline any refactor must
+// not regress); the parallel variant takes the GOMAXPROCS default. The
+// parallel speedup is hardware-dependent — on a single-core machine the two
+// variants collapse to the same work — and results are byte-identical either
+// way, which the differential harness enforces.
+func BenchmarkDIMEPlusParallel(b *testing.B) {
+	cfg := presets.DBGenConfig()
+	rs := presets.DBGenRules(cfg)
+	g := datagen.DBGen(datagen.DBGenOptions{NumEntities: 3000, ErrorRate: 0.10, Seed: 29})
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", 0},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			opts := core.Options{Config: cfg, Rules: rs, IntraWorkers: v.workers}
+			for i := 0; i < b.N; i++ {
+				res, err := core.DIMEPlus(g, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Stats.PositiveVerified), "verifications/op")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationNoSignatures compares DIME+ against the no-filter
 // baseline (naive DIME) on the same group.
 func BenchmarkAblationNoSignatures(b *testing.B) {

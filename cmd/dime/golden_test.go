@@ -189,6 +189,30 @@ func TestLogFlagEmitsSpans(t *testing.T) {
 	}
 }
 
+// TestIntraWorkersFlagIdenticalOutput pins the -intra-workers contract at
+// the CLI level: every worker count must print the same levels AND the same
+// stats line, because the parallel path is byte-identical to the sequential
+// one — not merely set-equivalent.
+func TestIntraWorkersFlagIdenticalOutput(t *testing.T) {
+	in := singleGroupFile(t, t.TempDir())
+	base, stderr, code := runCLI(t, "-in", in, "-preset", "scholar", "-stats")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, workers := range []string{"1", "2", "4"} {
+		got, stderr, code := runCLI(t, "-in", in, "-preset", "scholar", "-stats", "-intra-workers", workers)
+		if code != 0 {
+			t.Fatalf("-intra-workers %s: exit %d, stderr %q", workers, code, stderr)
+		}
+		if got != base {
+			t.Errorf("-intra-workers %s output diverged:\n--- got ---\n%s--- want ---\n%s", workers, got, base)
+		}
+	}
+	if _, _, code := runCLI(t, "-in", in, "-preset", "scholar", "-intra-workers", "not-a-number"); code != 2 {
+		t.Fatalf("bad -intra-workers value: exit %d, want 2", code)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if _, stderr, code := runCLI(t); code != 2 || !strings.Contains(stderr, "-in is required") {
 		t.Fatalf("missing -in: code %d, stderr %q", code, stderr)

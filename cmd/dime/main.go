@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dime -in group.json [-preset scholar|amazon|dbgen] [-level N] [-basic] [-stats] [-why]
+//	dime -in group.json [-preset scholar|amazon|dbgen] [-level N] [-basic] [-stats] [-why] [-intra-workers N]
 //	dime -in group.json -pos "ov(Authors) >= 2" -pos "..." -neg "ov(Authors) = 0"
 //	dime -in group.json -rules rules.json [-ontology tree.json -tree Venue]
 //	dime -in labeled.json -preset scholar -learn rules.json
@@ -80,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		why        = fs.Bool("why", false, "print the witnessing rule and entity pair per flagged partition")
 		learn      = fs.String("learn", "", "learn a rule set from the group's ground truth and write it to this file")
 		profile    = fs.Bool("profile", false, "profile the group's attributes (coverage, token shape, separability) and exit")
+		intra      = fs.Int("intra-workers", 0, "worker goroutines within each DIME+ run (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 		traceFile  = fs.String("trace", "", "write a JSON span trace of the run to this file")
 		logSpans   = fs.Bool("log", false, "emit one structured log line per completed phase to stderr")
 		serveDebug = fs.String("serve-debug", "", "serve /debug/pprof/, /debug/vars and /metrics on this address (e.g. :6060)")
@@ -129,7 +130,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		preset: *preset, rulesFile: *rulesFile, ontoFile: *ontoFile,
 		treeAttrs: treeAttrs, pos: pos, neg: neg,
 		level: *level, basic: *basic, stats: *stats, why: *why,
-		learn: *learn, profile: *profile,
+		learn: *learn, profile: *profile, intraWorkers: *intra,
 	})
 
 	if tr != nil {
@@ -165,6 +166,7 @@ type cliArgs struct {
 	basic, stats, why           bool
 	learn                       string
 	profile                     bool
+	intraWorkers                int
 }
 
 // runInput dispatches to the profile / learn / corpus / single-group paths.
@@ -182,7 +184,7 @@ func runInput(stdout, stderr io.Writer, probe obs.Probe, c cliArgs) int {
 		if err != nil {
 			return fail(err)
 		}
-		opts := dime.Options{Config: cfg, Rules: rs, Probe: probe}
+		opts := dime.Options{Config: cfg, Rules: rs, Probe: probe, IntraWorkers: c.intraWorkers}
 		if err := runCorpus(stdout, groups, opts, c.stats); err != nil {
 			return fail(err)
 		}
@@ -208,7 +210,7 @@ func runInput(stdout, stderr io.Writer, probe obs.Probe, c cliArgs) int {
 		return fail(err)
 	}
 
-	opts := dime.Options{Config: cfg, Rules: rs, Probe: probe}
+	opts := dime.Options{Config: cfg, Rules: rs, Probe: probe, IntraWorkers: c.intraWorkers}
 	var res *dime.Result
 	if c.basic {
 		res, err = dime.DiscoverBasic(&g, opts)

@@ -162,7 +162,8 @@ type (
 // Discover runs the signature-accelerated algorithm DIME+ on a group and
 // returns its partitions, pivot partition, and the monotone scrollbar of
 // discovered mis-categorized entities (one level per negative rule). It is
-// the recommended entry point.
+// the recommended entry point. Options.IntraWorkers parallelizes the run
+// internally; every setting returns a byte-identical Result.
 func Discover(g *Group, opts Options) (*Result, error) {
 	return core.DIMEPlus(g, opts)
 }
@@ -176,7 +177,9 @@ func DiscoverBasic(g *Group, opts Options) (*Result, error) {
 
 // DiscoverAll runs Discover over many groups concurrently with a bounded
 // worker pool (workers ≤ 0 uses GOMAXPROCS), returning one result per group
-// in input order. Results are identical to sequential Discover calls.
+// in input order. Results are identical to sequential Discover calls. Unless
+// Options.IntraWorkers is set explicitly, GOMAXPROCS is divided between the
+// pool and each run's internal workers.
 func DiscoverAll(groups []*Group, opts Options, workers int) ([]*Result, error) {
 	return core.DiscoverAll(groups, opts, workers)
 }

@@ -40,6 +40,15 @@ func DiscoverAll(groups []*entity.Group, opts Options, workers int) ([]*Result, 
 // opts.Probe is shared by all workers — each group still gets its own root
 // span — and additionally receives a "batch" run recording group and worker
 // counts over the whole batch's duration.
+//
+// An empty corpus returns an empty (non-nil) result slice and a zero-valued
+// BatchStats — Workers stays 0 because no pool is spawned, and Wall stays 0
+// because no timing run starts.
+//
+// When opts.IntraWorkers is left at its default, the batch divides GOMAXPROCS
+// between the group-level pool and each group's intra-group workers so the
+// two layers of parallelism don't oversubscribe the machine; an explicit
+// IntraWorkers setting is passed through untouched.
 func DiscoverAllStats(groups []*entity.Group, opts Options, workers int) ([]*Result, BatchStats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -50,6 +59,11 @@ func DiscoverAllStats(groups []*entity.Group, opts Options, workers int) ([]*Res
 	results := make([]*Result, len(groups))
 	if len(groups) == 0 {
 		return results, BatchStats{}, nil
+	}
+	if opts.IntraWorkers <= 0 {
+		if opts.IntraWorkers = runtime.GOMAXPROCS(0) / workers; opts.IntraWorkers < 1 {
+			opts.IntraWorkers = 1
+		}
 	}
 
 	start := time.Now()

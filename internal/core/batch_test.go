@@ -90,6 +90,80 @@ func TestDiscoverAllStatsAggregates(t *testing.T) {
 	}
 }
 
+// TestStatsAddFieldComplete fills every Stats field with a distinct value
+// via reflection before folding, so adding a field to Stats without
+// extending Add fails here instead of silently dropping counts from batch
+// aggregates.
+func TestStatsAddFieldComplete(t *testing.T) {
+	var a, b Stats
+	av := reflect.ValueOf(&a).Elem()
+	bv := reflect.ValueOf(&b).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		av.Field(i).SetInt(int64(i + 1))
+		bv.Field(i).SetInt(int64(100 * (i + 1)))
+	}
+	a.Add(b)
+	for i := 0; i < av.NumField(); i++ {
+		want := int64(i+1) + int64(100*(i+1))
+		if got := av.Field(i).Int(); got != want {
+			t.Errorf("after Add, field %s = %d, want %d (is Stats.Add missing it?)",
+				av.Type().Field(i).Name, got, want)
+		}
+	}
+	// The zero value is Add's identity in both directions.
+	before := a
+	a.Add(Stats{})
+	if a != before {
+		t.Fatalf("adding zero Stats changed the receiver: %+v vs %+v", a, before)
+	}
+	var zero Stats
+	zero.Add(before)
+	if zero != before {
+		t.Fatalf("adding into zero Stats = %+v, want %+v", zero, before)
+	}
+}
+
+// TestDiscoverAllStatsEdges pins the zero-group and single-group boundary
+// behaviour: an empty corpus — nil or empty slice — returns an empty result
+// slice and a zero BatchStats without spawning a pool, and a one-group batch
+// clamps every worker request to a single worker whose aggregate equals that
+// group's own stats.
+func TestDiscoverAllStatsEdges(t *testing.T) {
+	cfg := presets.ScholarConfig()
+	opts := Options{Config: cfg, Rules: presets.ScholarRules(cfg)}
+
+	for _, corpus := range [][]*entity.Group{nil, {}} {
+		results, bs, err := DiscoverAllStats(corpus, opts, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results == nil || len(results) != 0 {
+			t.Fatalf("empty corpus results = %#v, want empty non-nil slice", results)
+		}
+		if bs != (BatchStats{}) {
+			t.Fatalf("empty corpus batch stats = %+v, want zero value", bs)
+		}
+	}
+
+	single := datagen.ScholarPages(1, 30, 0.1, 13)
+	for _, workers := range []int{-1, 0, 1, 64} {
+		results, bs, err := DiscoverAllStats(single, opts, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bs.Workers != 1 {
+			t.Fatalf("workers=%d: reported %d pool workers, want 1", workers, bs.Workers)
+		}
+		if bs.Groups != 1 || bs.Wall <= 0 {
+			t.Fatalf("workers=%d: batch stats = %+v", workers, bs)
+		}
+		if bs.Stats != results[0].Stats {
+			t.Fatalf("workers=%d: aggregate %+v != single group %+v",
+				workers, bs.Stats, results[0].Stats)
+		}
+	}
+}
+
 func TestDiscoverAllPropagatesErrors(t *testing.T) {
 	cfg := presets.ScholarConfig()
 	opts := Options{Config: cfg, Rules: presets.ScholarRules(cfg)}

@@ -54,26 +54,14 @@ func DIMEPlus(g *entity.Group, opts Options) (*Result, error) {
 	// but sorting millions of candidates would cost more than it saves.
 	uf := partition.New(n)
 	perRuleCands := make([]int64, len(opts.Rules.Positive))
-	perRuleVerified := make([]int64, len(opts.Rules.Positive))
-	verify := func(i, j, rule int) {
-		if !opts.DisableTransitivitySkip && uf.Same(i, j) {
-			res.Stats.PositiveSkippedByTransitivity++
-			return
-		}
-		res.Stats.PositiveVerified++
-		perRuleVerified[rule]++
-		if opts.Rules.Positive[rule].Eval(recs[i], recs[j]) {
-			uf.Union(i, j)
-		}
-	}
+	// Verification runs through posVerifier: inline for one worker, chunked
+	// speculative evaluation + deterministic replay for several. Either way
+	// the skip/verify/union decisions happen in arrival order, so results
+	// and stats are identical for every worker count.
+	pver := newPosVerifier(&opts, recs, uf, &res.Stats, opts.intraWorkers(n))
 	sortLimit := opts.BenefitSortLimit
 	if sortLimit <= 0 {
 		sortLimit = 1 << 15
-	}
-	type posCand struct {
-		i, j    int32
-		rule    int32
-		benefit float64
 	}
 	var cands []posCand
 	sorting := !opts.DisableBenefitOrder
@@ -88,7 +76,7 @@ func DIMEPlus(g *entity.Group, opts Options) (*Result, error) {
 			res.Stats.PositivePairsConsidered++
 			perRuleCands[ri]++
 			if !sorting {
-				verify(c.I, c.J, ri)
+				pver.add(posCand{i: int32(c.I), j: int32(c.J), rule: int32(ri)})
 				return
 			}
 			avg := float64(ix.SigCount(c.I)+ix.SigCount(c.J)) / 2
@@ -111,11 +99,16 @@ func DIMEPlus(g *entity.Group, opts Options) (*Result, error) {
 				// arrival order and fall back to streaming.
 				sorting = false
 				for _, pc := range cands {
-					verify(int(pc.i), int(pc.j), int(pc.rule))
+					pver.add(pc)
 				}
 				cands = nil
 			}
 		})
+	}
+	if !sorting {
+		// Streaming verification belongs to candidate generation; drain the
+		// verifier's last partial chunk before the span closes.
+		pver.flush()
 	}
 	cg.Count("candidates", res.Stats.PositivePairsConsidered)
 	for ri, rule := range opts.Rules.Positive {
@@ -140,14 +133,16 @@ func DIMEPlus(g *entity.Group, opts Options) (*Result, error) {
 			}
 		})
 		for _, pc := range cands {
-			verify(int(pc.i), int(pc.j), int(pc.rule))
+			pver.add(pc)
 		}
+		pver.flush()
 	}
 	pv.Count("verified", res.Stats.PositiveVerified)
 	pv.Count("skipped-transitivity", res.Stats.PositiveSkippedByTransitivity)
 	for ri, rule := range opts.Rules.Positive {
-		pv.Count("verified/"+rule.Name, perRuleVerified[ri])
+		pv.Count("verified/"+rule.Name, pver.perRuleVerified[ri])
 	}
+	pver.report(pv)
 	pv.End()
 	res.Partitions = uf.Sets()
 
@@ -165,7 +160,13 @@ func DIMEPlus(g *entity.Group, opts Options) (*Result, error) {
 // entity keeps the memory footprint at O(|pivot|) and lets the common case
 // (a genuinely mis-categorized partition) resolve after a handful of
 // verifications.
-func plusMarkPartition(res *Result, nf *signature.NegFilter, neg rules.Rule,
+//
+// The function is a pure function of (partition, pivot, rule) that records
+// its work on stats — it reads only immutable records and the read-only
+// negative filter — so applyNegativeRules can run independent partitions on
+// concurrent workers and fold the per-partition stats back in partition
+// order, reproducing the sequential counters exactly.
+func plusMarkPartition(stats *Stats, nf *signature.NegFilter, neg rules.Rule,
 	part, pivot []*rules.Record, opts Options) (Witness, bool) {
 
 	type negCand struct {
@@ -176,7 +177,7 @@ func plusMarkPartition(res *Result, nf *signature.NegFilter, neg rules.Rule,
 	for _, e := range part {
 		pr := nf.Probe(e)
 		if pr.Certain >= 0 {
-			res.Stats.CertainPairsBySignature++
+			stats.CertainPairsBySignature++
 			return Witness{
 				Rule:     neg.Name,
 				EntityID: e.Entity.ID,
@@ -206,7 +207,7 @@ func plusMarkPartition(res *Result, nf *signature.NegFilter, neg rules.Rule,
 			})
 		}
 		for _, c := range cands {
-			res.Stats.NegativeVerified++
+			stats.NegativeVerified++
 			if neg.Eval(e, pivot[c.p]) {
 				return Witness{
 					Rule:     neg.Name,

@@ -9,9 +9,12 @@ import (
 // DefaultResultPackages lists the package-path suffixes whose emission order
 // reaches users: the scrollbar levels in internal/core, rule evaluation and
 // serialization in internal/rules, profiling output in internal/analysis,
-// the entity and signature packages whose ID lists feed those paths, and the
+// the entity and signature packages whose ID lists feed those paths, the
 // observability exports in internal/obs (trace JSON, /metrics text), which
-// must be byte-stable so traces and metric dumps diff cleanly across runs.
+// must be byte-stable so traces and metric dumps diff cleanly across runs,
+// and the differential harness in internal/difftest, whose comparisons and
+// failure messages must themselves be deterministic to make divergences
+// reproducible.
 var DefaultResultPackages = []string{
 	"internal/core",
 	"internal/rules",
@@ -19,6 +22,7 @@ var DefaultResultPackages = []string{
 	"internal/entity",
 	"internal/signature",
 	"internal/obs",
+	"internal/difftest",
 }
 
 // MapIter is the mapiter-determinism analyzer: in result-producing packages

@@ -35,6 +35,16 @@ const Universal = "\x00*"
 // Context carries the group-level state signature generation needs: global
 // token and q-gram orderings per attribute, and the global τ_min depths for
 // ontology node signatures. Build one per group with NewContext.
+//
+// Concurrency: after NewContext returns, the context is read-only for every
+// predicate of the rule set it was built with — NewContext precomputes the
+// gram lists, gram orderings, τ_min values and ontology depth floors those
+// predicates need, so Signatures, RuleSignatures and the NegFilter/PosIndex
+// methods built on them may be called from multiple goroutines concurrently
+// (parallel DIME+ relies on this). Two exceptions, both single-goroutine by
+// contract: Signatures on a predicate *outside* the original rule set may
+// lazily build orderings, and the incremental Append/Accepts path mutates
+// the context. Neither may run concurrently with other context use.
 type Context struct {
 	cfg       *rules.Config
 	tokenOrd  []*tokenize.Ordering // per attribute
@@ -90,12 +100,18 @@ func NewContext(cfg *rules.Config, recs []*rules.Record, rs rules.RuleSet) *Cont
 	return c
 }
 
+// prepare precomputes every lazily-built cache a predicate's signature
+// generation can touch, so that Signatures is a pure read afterwards (the
+// concurrent-read guarantee documented on Context).
 func (c *Context) prepare(p rules.Predicate) {
 	switch p.Fn {
 	case rules.EditSim, rules.EditDist:
 		c.gramsFor(p.Attr, qOf(p))
 	case rules.Ontology:
 		c.tauMinFor(p)
+		// The dissimilar side signs with the group's depth floor; warm it
+		// here so concurrent probes never race to write the cache.
+		c.minDepthFor(p.Attr)
 	}
 }
 

@@ -331,3 +331,50 @@ func TestContextValidate(t *testing.T) {
 		t.Fatal("mismatched record count should fail")
 	}
 }
+
+// TestContextConcurrentReads asserts the concurrent-read guarantee the
+// Context documents (and parallel DIME+ relies on): after NewContext,
+// Signatures for every predicate of the rule set is a pure read, so
+// concurrent calls are race-free and agree with a sequential baseline. The
+// race detector (make check runs the suite with -race) turns any lazily
+// populated cache left behind by NewContext into a failure here.
+func TestContextConcurrentReads(t *testing.T) {
+	_, recs, rs, ctx := buildScholar(t)
+	var preds []rules.Predicate
+	for _, r := range append(append([]rules.Rule(nil), rs.Positive...), rs.Negative...) {
+		preds = append(preds, r.Predicates...)
+	}
+	// Sequential baseline on a fresh context (same construction is
+	// deterministic, so cross-context signatures must match too).
+	want := make(map[string][]string)
+	key := func(pi, ri int) string { return fmt.Sprintf("%d/%d", pi, ri) }
+	for pi, p := range preds {
+		for ri, r := range recs {
+			want[key(pi, ri)] = ctx.Signatures(p, r)
+		}
+	}
+	const goroutines = 8
+	errs := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		go func(w int) {
+			for round := 0; round < 20; round++ {
+				for pi, p := range preds {
+					for ri, r := range recs {
+						got := ctx.Signatures(p, r)
+						if fmt.Sprint(got) != fmt.Sprint(want[key(pi, ri)]) {
+							errs <- fmt.Errorf("goroutine %d: signatures diverged for predicate %d record %d: %v vs %v",
+								w, pi, ri, got, want[key(pi, ri)])
+							return
+						}
+					}
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < goroutines; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

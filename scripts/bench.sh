@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # bench.sh runs the repository's performance snapshot: the end-to-end
-# BenchmarkDIMEPlus pair (nil probe vs traced) at a meaningful iteration
-# count, plus a one-shot smoke of two experiment benches, all with -benchmem.
+# BenchmarkDIMEPlus pair (nil probe vs traced), the BenchmarkDIMEPlusParallel
+# pair (sequential vs intra-group workers — note the parallel numbers are
+# hardware-dependent and collapse to sequential on one core), plus a one-shot
+# smoke of two experiment benches, all with -benchmem.
 # The combined output is converted by cmd/benchjson into BENCH_core.json,
 # the checked-in snapshot that lets perf regressions show up in review.
 #
@@ -17,8 +19,8 @@ BENCH_OUT="${BENCH_OUT:-BENCH_core.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-echo "== BenchmarkDIMEPlus (-benchtime=${BENCHTIME})"
-go test -run='^$' -bench='^BenchmarkDIMEPlus$' -benchmem -benchtime="${BENCHTIME}" . | tee "$tmp"
+echo "== BenchmarkDIMEPlus + BenchmarkDIMEPlusParallel (-benchtime=${BENCHTIME})"
+go test -run='^$' -bench='^BenchmarkDIMEPlus(Parallel)?$' -benchmem -benchtime="${BENCHTIME}" . | tee "$tmp"
 
 echo "== experiment smoke (-benchtime=1x)"
 go test -run='^$' -bench='^BenchmarkExp(1Fig6|4TableI)$' -benchmem -benchtime=1x . | tee -a "$tmp"
