@@ -1,7 +1,8 @@
 // Command dimelint runs DIME's static-analysis suite (internal/lint) over
 // the module and reports violations of the codebase's correctness
-// invariants with file:line diagnostics. It exits non-zero when it finds
-// anything, so `make check` can gate on it.
+// invariants with file:line diagnostics — per-package analyzers plus the
+// interprocedural detersafe / panicprop / resultpkgs passes over the module
+// call graph.
 //
 // Usage:
 //
@@ -11,68 +12,152 @@
 // with an in-source comment on the offending line (or the line above):
 //
 //	//lint:ignore <analyzer|all> <reason>
+//
+// or accepted in a baseline file (see -baseline). Exit codes:
+//
+//	0  no findings (or every finding is covered by the baseline)
+//	1  findings (with -baseline: findings not covered by it)
+//	2  usage or load error (bad flags, unmatched patterns, unreadable
+//	   baseline)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"dime/internal/lint"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list analyzers and exit")
-	typeErrors := flag.Bool("type-errors", false, "also print type-check errors (findings are best-effort when present)")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: dimelint [flags] [patterns...]\n\npatterns default to ./...; flags:\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonFinding is the -json wire form of one diagnostic. File is
+// module-relative with forward slashes so output is machine-stable across
+// checkouts.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dimelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array instead of file:line text")
+	baselinePath := fs.String("baseline", "", "accept findings recorded in this baseline `file`; fail only on new ones")
+	writeBaseline := fs.String("write-baseline", "", "record current findings to this baseline `file` and exit 0")
+	typeErrors := fs.Bool("type-errors", false, "also print type-check errors (findings are best-effort when present)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: dimelint [flags] [patterns...]\n\npatterns default to ./...; flags:\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 
 	analyzers := lint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-22s %s\n", a.Name(), a.Doc())
+			fmt.Fprintf(stdout, "%-22s %s\n", a.Name(), a.Doc())
 		}
-		return
+		return 0
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
-	pkgs, err := lint.Load(cwd, flag.Args())
+	modRoot, err := lint.ModuleRoot(cwd)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
+	}
+	pkgs, err := lint.Load(cwd, fs.Args())
+	if err != nil {
+		return fatal(stderr, err)
 	}
 	if len(pkgs) == 0 {
 		// A typo'd pattern must not let a CI gate pass vacuously.
-		fatal(fmt.Errorf("no packages match %v", flag.Args()))
+		return fatal(stderr, fmt.Errorf("no packages match %v", fs.Args()))
 	}
 	if *typeErrors {
 		for _, pkg := range pkgs {
 			for _, terr := range pkg.TypeErrors {
-				fmt.Fprintf(os.Stderr, "dimelint: %s: type error: %v\n", pkg.Path, terr)
+				fmt.Fprintf(stderr, "dimelint: %s: type error: %v\n", pkg.Path, terr)
 			}
 		}
 	}
 
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
-			d.Pos.Filename = rel
+
+	if *writeBaseline != "" {
+		b := lint.NewBaseline(diags, modRoot)
+		if err := b.Write(*writeBaseline); err != nil {
+			return fatal(stderr, err)
 		}
-		fmt.Println(d)
+		fmt.Fprintf(stderr, "dimelint: recorded %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+
+	if *baselinePath != "" {
+		b, err := lint.ReadBaseline(*baselinePath)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		fresh, stale := b.Apply(diags, modRoot)
+		for _, f := range stale {
+			fmt.Fprintf(stderr, "dimelint: stale baseline entry (finding no longer occurs): %s: %s: %s\n", f.File, f.Analyzer, f.Message)
+		}
+		diags = fresh
+	}
+
+	if *asJSON {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:     relTo(modRoot, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetEscapeHTML(false)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return fatal(stderr, err)
+		}
+	} else {
+		for _, d := range diags {
+			d.Pos.Filename = relTo(cwd, d.Pos.Filename)
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "dimelint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "dimelint: %d finding(s)\n", len(diags))
+		return 1
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "dimelint: %v\n", err)
-	os.Exit(2)
+// relTo renders path relative to dir (forward slashes) when it is inside it.
+func relTo(dir, path string) string {
+	if rel, err := filepath.Rel(dir, path); err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return filepath.ToSlash(rel)
+	}
+	return path
+}
+
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintf(stderr, "dimelint: %v\n", err)
+	return 2
 }

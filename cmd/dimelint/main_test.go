@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dime/internal/lint"
+)
+
+// chdir switches into dir for the duration of the test. run() resolves the
+// module from the working directory, so the golden tests operate inside the
+// fixture modules under testdata/src (which the go tool itself ignores).
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+// runCLI invokes run() and returns exit code, stdout, stderr.
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+const fixtureGolden = `lib.go:11:9: detersafe: time.Now (wall clock) in fixturemod.tick is reachable from result entry point fixturemod.Discover; results must not depend on it (chain: fixturemod.Discover -> fixturemod.tick)
+lib.go:15:6: panicprop: exported fixturemod.Outer can reach panic via fixturemod.inner (chain: fixturemod.Outer -> fixturemod.inner); return an error or absorb the panic behind recover/MustX
+lib.go:20:2: panic-in-library: panic in library function inner; return an error or move the panic into a Must* constructor
+lib.go:24:11: float-threshold: exact == on float values; use sim.Eq (epsilon 1e-9) instead
+`
+
+const fixtureGoldenJSON = `[
+  {
+    "file": "lib.go",
+    "line": 11,
+    "col": 9,
+    "analyzer": "detersafe",
+    "message": "time.Now (wall clock) in fixturemod.tick is reachable from result entry point fixturemod.Discover; results must not depend on it (chain: fixturemod.Discover -> fixturemod.tick)"
+  },
+  {
+    "file": "lib.go",
+    "line": 15,
+    "col": 6,
+    "analyzer": "panicprop",
+    "message": "exported fixturemod.Outer can reach panic via fixturemod.inner (chain: fixturemod.Outer -> fixturemod.inner); return an error or absorb the panic behind recover/MustX"
+  },
+  {
+    "file": "lib.go",
+    "line": 20,
+    "col": 2,
+    "analyzer": "panic-in-library",
+    "message": "panic in library function inner; return an error or move the panic into a Must* constructor"
+  },
+  {
+    "file": "lib.go",
+    "line": 24,
+    "col": 11,
+    "analyzer": "float-threshold",
+    "message": "exact == on float values; use sim.Eq (epsilon 1e-9) instead"
+  }
+]
+`
+
+func TestRunList(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(stdout, a.Name()) || !strings.Contains(stdout, a.Doc()) {
+			t.Errorf("-list output missing analyzer %s", a.Name())
+		}
+	}
+}
+
+func TestRunNewFindingsTextGolden(t *testing.T) {
+	chdir(t, filepath.Join("testdata", "src", "fixturemod"))
+	code, stdout, stderr := runCLI(t)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (findings); stderr: %s", code, stderr)
+	}
+	if stdout != fixtureGolden {
+		t.Errorf("stdout mismatch:\n--- got ---\n%s--- want ---\n%s", stdout, fixtureGolden)
+	}
+	if !strings.Contains(stderr, "4 finding(s)") {
+		t.Errorf("stderr should count findings, got: %s", stderr)
+	}
+}
+
+func TestRunJSONGolden(t *testing.T) {
+	chdir(t, filepath.Join("testdata", "src", "fixturemod"))
+	code, stdout, _ := runCLI(t, "-json")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if stdout != fixtureGoldenJSON {
+		t.Errorf("stdout mismatch:\n--- got ---\n%s--- want ---\n%s", stdout, fixtureGoldenJSON)
+	}
+}
+
+func TestRunCleanModule(t *testing.T) {
+	chdir(t, filepath.Join("testdata", "src", "cleanmod"))
+	code, stdout, stderr := runCLI(t)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run should print nothing, got: %s", stdout)
+	}
+}
+
+func TestRunBaselineWorkflow(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+	chdir(t, filepath.Join("testdata", "src", "fixturemod"))
+
+	// Record the current findings.
+	code, _, stderr := runCLI(t, "-write-baseline", baseline)
+	if code != 0 || !strings.Contains(stderr, "recorded 4 finding(s)") {
+		t.Fatalf("write-baseline: exit=%d stderr=%s", code, stderr)
+	}
+
+	// A fully baselined run is clean.
+	code, stdout, stderr := runCLI(t, "-baseline", baseline)
+	if code != 0 || stdout != "" {
+		t.Fatalf("baselined run: exit=%d stdout=%q stderr=%s", code, stdout, stderr)
+	}
+
+	// Dropping an entry makes exactly that finding fresh again.
+	b, err := lint.ReadBaseline(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := b.Findings
+	b.Findings = full[1:] // drop the detersafe entry (findings are sorted)
+	if err := b.Write(baseline); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runCLI(t, "-baseline", baseline)
+	if code != 1 {
+		t.Fatalf("new-finding run: exit = %d, want 1", code)
+	}
+	if want := fixtureGolden[:strings.Index(fixtureGolden, "\n")+1]; stdout != want {
+		t.Errorf("only the unbaselined finding should print:\n--- got ---\n%s--- want ---\n%s", stdout, want)
+	}
+
+	// A baseline entry whose finding no longer occurs is reported stale on
+	// stderr without failing the run.
+	b.Findings = append(full, lint.BaselineFinding{File: "gone.go", Analyzer: "detersafe", Message: "no longer here"})
+	if err := b.Write(baseline); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runCLI(t, "-baseline", baseline)
+	if code != 0 {
+		t.Fatalf("stale-entry run: exit = %d, want 0", code)
+	}
+	if !strings.Contains(stderr, "stale baseline entry") || !strings.Contains(stderr, "gone.go") {
+		t.Errorf("want stale-entry warning on stderr, got: %s", stderr)
+	}
+}
+
+func TestRunUsageAndLoadErrors(t *testing.T) {
+	chdir(t, filepath.Join("testdata", "src", "cleanmod"))
+	if code, _, _ := runCLI(t, "-definitely-not-a-flag"); code != 2 {
+		t.Errorf("bad flag: exit = %d, want 2", code)
+	}
+	if code, _, stderr := runCLI(t, "./no/such/dir/..."); code != 2 {
+		t.Errorf("bad pattern: exit = %d, want 2 (stderr: %s)", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "-baseline", "absent.json"); code != 2 {
+		t.Errorf("missing baseline: exit = %d, want 2 (stderr: %s)", code, stderr)
+	}
+}

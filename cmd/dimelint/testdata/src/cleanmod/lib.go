@@ -1,0 +1,6 @@
+package cleanmod
+
+// Add is finding-free on every analyzer.
+func Add(a, b int) int {
+	return a + b
+}

@@ -1,0 +1,25 @@
+package fixturemod
+
+import "time"
+
+// Discover is a result entry point for the detersafe fixture.
+func Discover() int64 {
+	return tick()
+}
+
+func tick() int64 {
+	return time.Now().UnixNano()
+}
+
+// Outer is exported API from which a panic is reachable.
+func Outer() {
+	inner()
+}
+
+func inner() {
+	panic("boom")
+}
+
+func eq(a float64) bool {
+	return a == 0.75
+}

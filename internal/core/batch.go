@@ -29,8 +29,8 @@ type BatchStats struct {
 // worker pool and returns one result per group, in input order. Each group
 // is processed independently (signature contexts and orderings are
 // per-group), so results are identical to sequential runs. workers ≤ 0 uses
-// GOMAXPROCS. On error the first failure is returned and the batch result is
-// discarded.
+// GOMAXPROCS. On error the failure of the lowest-indexed failed group is
+// returned and the batch result is discarded.
 func DiscoverAll(groups []*entity.Group, opts Options, workers int) ([]*Result, error) {
 	results, _, err := DiscoverAllStats(groups, opts, workers)
 	return results, err
@@ -66,16 +66,19 @@ func DiscoverAllStats(groups []*entity.Group, opts Options, workers int) ([]*Res
 		}
 	}
 
+	//lint:ignore detersafe BatchStats.Wall is wall-clock metadata about the run, not result content
 	start := time.Now()
 	run := obs.Start(opts.Probe, "batch")
 	run.Count("groups", int64(len(groups)))
 	run.Count("workers", int64(workers))
 	var (
-		failed   atomic.Bool
-		errMu    sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
+		failed atomic.Bool
+		wg     sync.WaitGroup
 	)
+	// Errors land in per-index slots (like results) and are folded in input
+	// order below, so the reported error does not depend on goroutine
+	// scheduling when several groups fail.
+	errs := make([]error, len(groups))
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -87,11 +90,8 @@ func DiscoverAllStats(groups []*entity.Group, opts Options, workers int) ([]*Res
 				}
 				res, err := DIMEPlus(groups[idx], opts)
 				if err != nil {
-					if failed.CompareAndSwap(false, true) {
-						errMu.Lock()
-						firstErr = fmt.Errorf("group %q: %w", groups[idx].Name, err)
-						errMu.Unlock()
-					}
+					failed.Store(true)
+					errs[idx] = fmt.Errorf("group %q: %w", groups[idx].Name, err)
 					continue
 				}
 				results[idx] = res
@@ -105,10 +105,13 @@ func DiscoverAllStats(groups []*entity.Group, opts Options, workers int) ([]*Res
 	wg.Wait()
 	run.End()
 	if failed.Load() {
-		errMu.Lock()
-		defer errMu.Unlock()
-		return nil, BatchStats{}, firstErr
+		for _, err := range errs {
+			if err != nil {
+				return nil, BatchStats{}, err
+			}
+		}
 	}
+	//lint:ignore detersafe BatchStats.Wall is wall-clock metadata about the run, not result content
 	bs := BatchStats{Groups: len(groups), Workers: workers, Wall: time.Since(start)}
 	for _, r := range results {
 		bs.Stats.Add(r.Stats)

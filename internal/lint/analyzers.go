@@ -1,6 +1,8 @@
 package lint
 
-// All returns the full analyzer suite in a stable order.
+// All returns the full analyzer suite in a stable order: the per-package
+// analyzers first, then the interprocedural ones that run over the module
+// call graph.
 func All() []Analyzer {
 	return []Analyzer{
 		MapIter{},
@@ -8,5 +10,8 @@ func All() []Analyzer {
 		ErrCheck{},
 		Concurrency{},
 		PanicFree{},
+		DeterSafe{},
+		PanicProp{},
+		ResultPkgs{},
 	}
 }

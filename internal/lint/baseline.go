@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline records accepted findings so CI fails only on new ones. Matching
+// is a multiset over (module-relative file, analyzer, message) — line
+// numbers are deliberately excluded so unrelated edits that shift a finding
+// do not invalidate the baseline, while a *second* instance of a recorded
+// finding in the same file still fails.
+type Baseline struct {
+	// Version is the format version, currently 1.
+	Version int `json:"version"`
+	// Findings holds the accepted findings, sorted by (file, analyzer,
+	// message).
+	Findings []BaselineFinding `json:"findings"`
+}
+
+// BaselineFinding is one accepted diagnostic shape.
+type BaselineFinding struct {
+	// File is the module-relative slash path of the file.
+	File string `json:"file"`
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string `json:"analyzer"`
+	// Message is the diagnostic message.
+	Message string `json:"message"`
+	// Count is how many identical findings are accepted (defaults to 1 when
+	// absent from the JSON).
+	Count int `json:"count,omitempty"`
+}
+
+// baselineKey is the matching identity of a finding.
+type baselineKey struct {
+	file, analyzer, message string
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d (want 1)", path, b.Version)
+	}
+	return &b, nil
+}
+
+// Write saves the baseline as indented JSON.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// NewBaseline records the diagnostics as a baseline, relativizing file paths
+// against dir (the module root).
+func NewBaseline(diags []Diagnostic, dir string) *Baseline {
+	counts := map[baselineKey]int{}
+	for _, d := range diags {
+		counts[diagKey(d, dir)]++
+	}
+	b := &Baseline{Version: 1, Findings: make([]BaselineFinding, 0, len(counts))}
+	for k, n := range counts {
+		f := BaselineFinding{File: k.file, Analyzer: k.analyzer, Message: k.message}
+		if n > 1 {
+			f.Count = n
+		}
+		b.Findings = append(b.Findings, f)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Apply splits diagnostics into fresh findings (not covered by the baseline,
+// in input order) and stale baseline entries (accepted findings that no
+// longer occur — candidates for removal). Paths are relativized against dir
+// before matching.
+func (b *Baseline) Apply(diags []Diagnostic, dir string) (fresh []Diagnostic, stale []BaselineFinding) {
+	budget := map[baselineKey]int{}
+	for _, f := range b.Findings {
+		n := f.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[baselineKey{f.File, f.Analyzer, f.Message}] += n
+	}
+	for _, d := range diags {
+		k := diagKey(d, dir)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, f := range b.Findings {
+		k := baselineKey{f.File, f.Analyzer, f.Message}
+		if budget[k] > 0 {
+			stale = append(stale, f)
+			budget[k] = 0 // report a multi-count entry once
+		}
+	}
+	return fresh, stale
+}
+
+// diagKey computes the baseline identity of a diagnostic.
+func diagKey(d Diagnostic, dir string) baselineKey {
+	return baselineKey{relPath(d.Pos.Filename, dir), d.Analyzer, d.Message}
+}
+
+// relPath renders path relative to dir with forward slashes, falling back to
+// the input when it is not under dir.
+func relPath(path, dir string) string {
+	if dir != "" {
+		if rel, err := filepath.Rel(dir, path); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(path)
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func diag(file string, line int, analyzer, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	diags := []Diagnostic{
+		diag(filepath.Join(dir, "a.go"), 10, "detersafe", "clock"),
+		diag(filepath.Join(dir, "a.go"), 20, "detersafe", "clock"),
+		diag(filepath.Join(dir, "sub", "b.go"), 5, "panicprop", "boom"),
+	}
+	b := NewBaseline(diags, dir)
+	if len(b.Findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (identical ones merge): %+v", len(b.Findings), b.Findings)
+	}
+	if f := b.Findings[0]; f.File != "a.go" || f.Count != 2 {
+		t.Errorf("merged finding = %+v, want a.go with count 2", f)
+	}
+	if f := b.Findings[1]; f.File != "sub/b.go" || f.Count != 0 {
+		t.Errorf("single finding = %+v, want sub/b.go with omitted count", f)
+	}
+
+	path := filepath.Join(dir, "baseline.json")
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Findings) != 2 || got.Findings[0] != b.Findings[0] || got.Findings[1] != b.Findings[1] {
+		t.Errorf("round trip mismatch: %+v vs %+v", got.Findings, b.Findings)
+	}
+}
+
+func TestBaselineApplySplitsFreshAndStale(t *testing.T) {
+	dir := t.TempDir()
+	b := &Baseline{Version: 1, Findings: []BaselineFinding{
+		{File: "a.go", Analyzer: "detersafe", Message: "clock", Count: 2},
+		{File: "gone.go", Analyzer: "panicprop", Message: "boom"},
+	}}
+	diags := []Diagnostic{
+		// Line numbers deliberately differ from anything recorded: matching
+		// must be position-independent.
+		diag(filepath.Join(dir, "a.go"), 100, "detersafe", "clock"),
+		diag(filepath.Join(dir, "a.go"), 200, "detersafe", "clock"),
+		diag(filepath.Join(dir, "a.go"), 300, "detersafe", "clock"), // exceeds count 2
+		diag(filepath.Join(dir, "new.go"), 1, "float-threshold", "eq"),
+	}
+	fresh, stale := b.Apply(diags, dir)
+	if len(fresh) != 2 {
+		t.Fatalf("fresh = %v, want the third clock finding and new.go", fresh)
+	}
+	if fresh[0].Pos.Line != 300 || fresh[1].Pos.Filename != filepath.Join(dir, "new.go") {
+		t.Errorf("fresh = %v", fresh)
+	}
+	if len(stale) != 1 || stale[0].File != "gone.go" {
+		t.Errorf("stale = %+v, want the gone.go entry", stale)
+	}
+}
+
+func TestBaselineApplyEmptyBaselinePassesEverythingThrough(t *testing.T) {
+	b := &Baseline{Version: 1}
+	diags := []Diagnostic{diag("/x/a.go", 1, "detersafe", "clock")}
+	fresh, stale := b.Apply(diags, "/x")
+	if len(fresh) != 1 || len(stale) != 0 {
+		t.Errorf("fresh=%v stale=%v", fresh, stale)
+	}
+}
+
+func TestReadBaselineRejectsBadVersionAndJSON(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":9,"findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(bad); err == nil || !strings.Contains(err.Error(), "unsupported version") {
+		t.Errorf("want version error, got %v", err)
+	}
+	if err := os.WriteFile(bad, []byte(`{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(bad); err == nil {
+		t.Error("want JSON error for truncated file")
+	}
+	if _, err := ReadBaseline(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("want error for missing file")
+	}
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// edgeIDs collects the callee IDs of a node's edges of one kind, in order.
+func edgeIDs(n *Node, kind EdgeKind) []string {
+	var out []string
+	for _, e := range n.Out {
+		if e.Kind == kind {
+			out = append(out, e.Callee.ID)
+		}
+	}
+	return out
+}
+
+func TestCallGraphStaticEdgesAndFacts(t *testing.T) {
+	pkg := fixture(t, "dime/internal/core", "fixture.go", `package core
+import "time"
+func Top() int64 { return step() }
+func step() int64 {
+	if time.Now().IsZero() {
+		panic("impossible")
+	}
+	return time.Now().UnixNano()
+}
+type S struct{}
+func (s *S) Go() int64 { return step() }`)
+	g := BuildCallGraph([]*Package{pkg})
+
+	top := g.Node("dime/internal/core.Top")
+	step := g.Node("dime/internal/core.step")
+	method := g.Node("dime/internal/core.S.Go")
+	if top == nil || step == nil || method == nil {
+		t.Fatalf("missing nodes, have %v", g.Nodes())
+	}
+	if got := edgeIDs(top, EdgeCall); len(got) != 1 || got[0] != step.ID {
+		t.Errorf("Top edges = %v, want [%s]", got, step.ID)
+	}
+	if got := edgeIDs(method, EdgeCall); len(got) != 1 || got[0] != step.ID {
+		t.Errorf("S.Go edges = %v, want [%s]", got, step.ID)
+	}
+	if len(step.Panics) != 1 {
+		t.Errorf("step.Panics = %v, want one site", step.Panics)
+	}
+	if len(step.Nondet) != 2 || !strings.Contains(step.Nondet[0].What, "time.Now") {
+		t.Errorf("step.Nondet = %+v, want two time.Now facts", step.Nondet)
+	}
+	if method.RecvName != "S" || !method.Exported {
+		t.Errorf("S.Go node = %+v, want receiver S, exported", method)
+	}
+	if step.String() != "internal/core.step" {
+		t.Errorf("step.String() = %q", step.String())
+	}
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	pkg := fixture(t, "dime/internal/core", "fixture.go", `package core
+type Scorer interface{ Score() int }
+type fast struct{}
+func (fast) Score() int { return 1 }
+type slow struct{}
+func (s *slow) Score() int { return 2 }
+func Total(s Scorer) int { return s.Score() }`)
+	g := BuildCallGraph([]*Package{pkg})
+
+	total := g.Node("dime/internal/core.Total")
+	if total == nil {
+		t.Fatal("missing Total node")
+	}
+	got := edgeIDs(total, EdgeIface)
+	want := []string{"dime/internal/core.fast.Score", "dime/internal/core.slow.Score"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("interface dispatch edges = %v, want %v", got, want)
+	}
+}
+
+func TestCallGraphRefEdgeForFunctionValues(t *testing.T) {
+	pkg := fixture(t, "dime/internal/core", "fixture.go", `package core
+func helper() {}
+func apply(f func()) { f() }
+func Run() { apply(helper) }`)
+	g := BuildCallGraph([]*Package{pkg})
+
+	run := g.Node("dime/internal/core.Run")
+	if run == nil {
+		t.Fatal("missing Run node")
+	}
+	if got := edgeIDs(run, EdgeRef); len(got) != 1 || got[0] != "dime/internal/core.helper" {
+		t.Errorf("ref edges = %v, want [dime/internal/core.helper]", got)
+	}
+	if got := edgeIDs(run, EdgeCall); len(got) != 1 || got[0] != "dime/internal/core.apply" {
+		t.Errorf("call edges = %v, want [dime/internal/core.apply]", got)
+	}
+}
+
+func TestCallGraphRecoverAndGoroutineFacts(t *testing.T) {
+	pkg := fixture(t, "dime/internal/core", "fixture.go", `package core
+func Guarded() {
+	defer func() { recover() }()
+}
+func FanOut(n int) []int {
+	out := make([]int, n)
+	total := 0
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			out[i] = i      // per-index slot: fine
+			total += i      // shared write: flagged
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	_ = total
+	return out
+}`)
+	g := BuildCallGraph([]*Package{pkg})
+
+	if n := g.Node("dime/internal/core.Guarded"); n == nil || !n.Recovers {
+		t.Errorf("Guarded should have Recovers set, got %+v", n)
+	}
+	fan := g.Node("dime/internal/core.FanOut")
+	if fan == nil || len(fan.Nondet) != 1 || !strings.Contains(fan.Nondet[0].What, "goroutine fan-out") {
+		t.Errorf("FanOut.Nondet = %+v, want one goroutine fan-out fact", fan.Nondet)
+	}
+}
+
+func TestCallGraphMapEscapeFact(t *testing.T) {
+	pkg := fixture(t, "dime/internal/core", "fixture.go", `package core
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}`)
+	g := BuildCallGraph([]*Package{pkg})
+	n := g.Node("dime/internal/core.Keys")
+	if n == nil || len(n.Nondet) != 1 || !strings.Contains(n.Nondet[0].What, `map iteration order escapes into slice "out"`) {
+		t.Errorf("Keys.Nondet = %+v, want one map-escape fact", n.Nondet)
+	}
+}

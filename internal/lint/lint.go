@@ -7,13 +7,24 @@
 //
 // The framework walks every package in the module (see Load), runs each
 // Analyzer over the type-checked syntax, and reports file:line diagnostics.
+// On top of the per-package passes, a module-wide static call graph (see
+// BuildCallGraph) powers three interprocedural analyzers: detersafe proves
+// the result-producing entry points cannot transitively reach
+// nondeterminism sources, panicprop lifts the panic-in-library rule to
+// call-graph reachability from exported API, and resultpkgs derives the
+// result-producing package list and fails when DefaultResultPackages is
+// stale.
+//
 // A finding can be suppressed with a comment on the same line or the line
 // directly above it:
 //
 //	//lint:ignore <analyzer|all> <reason>
 //
-// The reason is mandatory; an ignore directive without one is itself a
-// diagnostic. cmd/dimelint is the CLI front end.
+// The same directive inside a single-line /* */ comment works too. The
+// reason is mandatory; an ignore directive without one is itself a
+// diagnostic. Accepted findings that cannot or should not be fixed in-source
+// can instead be recorded in a baseline file (see Baseline), which
+// cmd/dimelint consumes so CI fails only on new findings.
 package lint
 
 import (
@@ -47,8 +58,17 @@ type Analyzer interface {
 	Name() string
 	// Doc is a one-line description for -list output.
 	Doc() string
-	// Run analyzes one package.
+	// Run analyzes one package. Interprocedural analyzers implement
+	// ModuleAnalyzer instead and leave Run a no-op.
 	Run(pass *Pass)
+}
+
+// ModuleAnalyzer is an Analyzer that runs once over the whole loaded
+// package set with the module call graph, instead of package by package.
+type ModuleAnalyzer interface {
+	Analyzer
+	// RunModule analyzes the module via the ModulePass.
+	RunModule(mp *ModulePass)
 }
 
 // Pass carries one package's syntax and type information to an analyzer.
@@ -89,15 +109,67 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
+// ModulePass carries the whole loaded package set and its call graph to a
+// ModuleAnalyzer. All packages share one FileSet (as Load guarantees).
+type ModulePass struct {
+	// Fset translates token positions for every loaded package.
+	Fset *token.FileSet
+	// Pkgs holds the loaded lint units, sorted by path.
+	Pkgs []*Package
+	// Module is the module path.
+	Module string
+	// Graph is the module call graph over Pkgs.
+	Graph *CallGraph
+
+	ignores  ignoreSet
+	analyzer string
+	sink     *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*mp.sink = append(*mp.sink, Diagnostic{
+		Pos:      mp.Fset.Position(pos),
+		Analyzer: mp.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// SuppressedFor reports whether a //lint:ignore directive for the named
+// analyzer (or "all") covers pos. Interprocedural analyzers use it to honor
+// a per-package suppression at a fact site: a mapiter-determinism ignore
+// asserts the iteration is in fact order-safe, so detersafe must not taint
+// paths through it.
+func (mp *ModulePass) SuppressedFor(pos token.Pos, analyzer string) bool {
+	return mp.ignores.suppresses(Diagnostic{Pos: mp.Fset.Position(pos), Analyzer: analyzer})
+}
+
 // Run executes the analyzers over the packages, applies //lint:ignore
 // suppression, and returns the surviving diagnostics sorted by position.
+// Per-package analyzers run package by package; ModuleAnalyzers run once
+// over the full set with the call graph built on demand.
 func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 	var all []Diagnostic
+	merged := ignoreSet{}
 	for _, pkg := range pkgs {
 		ignores, malformed := collectIgnores(pkg)
 		all = append(all, malformed...)
+		for file, lines := range ignores {
+			if existing, ok := merged[file]; ok {
+				for line, names := range lines {
+					existing[line] = append(existing[line], names...)
+				}
+			} else {
+				merged[file] = lines
+			}
+		}
+	}
+	for _, pkg := range pkgs {
 		var raw []Diagnostic
 		for _, a := range analyzers {
+			if _, isModule := a.(ModuleAnalyzer); isModule {
+				continue
+			}
 			pass := &Pass{
 				Fset:     pkg.Fset,
 				Pkg:      pkg,
@@ -108,8 +180,34 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 			a.Run(pass)
 		}
 		for _, d := range raw {
-			if !ignores.suppresses(d) {
+			if !merged.suppresses(d) {
 				all = append(all, d)
+			}
+		}
+	}
+	var moduleAnalyzers []ModuleAnalyzer
+	for _, a := range analyzers {
+		if ma, ok := a.(ModuleAnalyzer); ok {
+			moduleAnalyzers = append(moduleAnalyzers, ma)
+		}
+	}
+	if len(moduleAnalyzers) > 0 && len(pkgs) > 0 {
+		mp := &ModulePass{
+			Fset:    pkgs[0].Fset,
+			Pkgs:    pkgs,
+			Module:  pkgs[0].Module,
+			Graph:   BuildCallGraph(pkgs),
+			ignores: merged,
+		}
+		for _, ma := range moduleAnalyzers {
+			var raw []Diagnostic
+			mp.analyzer = ma.Name()
+			mp.sink = &raw
+			ma.RunModule(mp)
+			for _, d := range raw {
+				if !merged.suppresses(d) {
+					all = append(all, d)
+				}
 			}
 		}
 	}
@@ -147,17 +245,18 @@ func (s ignoreSet) suppresses(d Diagnostic) bool {
 }
 
 // collectIgnores scans every comment in the package for lint:ignore
-// directives. A directive suppresses findings on its own line; a directive
-// that is the only thing on its line suppresses the line below instead.
-// Malformed directives (no analyzer name or no reason) are returned as
-// diagnostics so they cannot silently disable nothing.
+// directives, in both line-comment and single-line block-comment form. A
+// directive sharing its line with code suppresses findings on that line; a
+// directive alone on its line suppresses the line below instead. Malformed
+// directives (no analyzer name or no reason) are returned as diagnostics so
+// they cannot silently disable nothing.
 func collectIgnores(pkg *Package) (ignoreSet, []Diagnostic) {
 	set := ignoreSet{}
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				text, ok := directiveText(c.Text)
 				if !ok {
 					continue
 				}
@@ -187,10 +286,27 @@ func collectIgnores(pkg *Package) (ignoreSet, []Diagnostic) {
 	return set, bad
 }
 
-// standsAlone reports whether the comment is the first token on its line
-// (i.e. not trailing a statement).
+// directiveText extracts the text after "lint:ignore" from a line comment
+// ("//lint:ignore ...") or a block comment ("/*lint:ignore ...*/"),
+// reporting whether the comment is a directive at all.
+func directiveText(comment string) (string, bool) {
+	if rest, ok := strings.CutPrefix(comment, "//lint:ignore"); ok {
+		return rest, true
+	}
+	if body, ok := strings.CutPrefix(comment, "/*"); ok {
+		body = strings.TrimSuffix(body, "*/")
+		if rest, ok := strings.CutPrefix(body, "lint:ignore"); ok {
+			return rest, true
+		}
+	}
+	return "", false
+}
+
+// standsAlone reports whether the comment shares its line with no syntax
+// node — code before it (a trailing directive) and code after it (a leading
+// /* */ directive) both bind the directive to its own line.
 func standsAlone(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
-	cpos := fset.Position(c.Pos())
+	cline := fset.Position(c.Pos()).Line
 	alone := true
 	ast.Inspect(f, func(n ast.Node) bool {
 		if n == nil || !alone {
@@ -199,8 +315,7 @@ func standsAlone(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
 		if n.Pos() == token.NoPos {
 			return true
 		}
-		p := fset.Position(n.Pos())
-		if _, isFile := n.(*ast.File); !isFile && p.Line == cpos.Line && p.Column < cpos.Column {
+		if _, isFile := n.(*ast.File); !isFile && fset.Position(n.Pos()).Line == cline {
 			alone = false
 			return false
 		}

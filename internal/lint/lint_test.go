@@ -95,7 +95,7 @@ func grow(m map[string][]int) {
 }
 
 func TestMapIterIgnoresNonResultPackages(t *testing.T) {
-	pkg := fixture(t, "dime/internal/datagen", "fixture.go", `package datagen
+	pkg := fixture(t, "dime/internal/metrics", "fixture.go", `package metrics
 func emit(m map[string]int) []string {
 	var out []string
 	for k := range m {

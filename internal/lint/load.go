@@ -79,6 +79,13 @@ func Load(root string, patterns []string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// ModuleRoot returns the root directory of the module enclosing dir (the
+// directory holding go.mod). Baselines relativize finding paths against it.
+func ModuleRoot(dir string) (string, error) {
+	root, _, err := findModule(dir)
+	return root, err
+}
+
 // findModule walks up from dir to the enclosing go.mod and returns the
 // module root directory and module path.
 func findModule(dir string) (string, string, error) {

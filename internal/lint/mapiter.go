@@ -1,28 +1,49 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
 
 // DefaultResultPackages lists the package-path suffixes whose emission order
-// reaches users: the scrollbar levels in internal/core, rule evaluation and
-// serialization in internal/rules, profiling output in internal/analysis,
-// the entity and signature packages whose ID lists feed those paths, the
-// observability exports in internal/obs (trace JSON, /metrics text), which
-// must be byte-stable so traces and metric dumps diff cleanly across runs,
-// and the differential harness in internal/difftest, whose comparisons and
-// failure messages must themselves be deterministic to make divergences
-// reproducible.
+// reaches users, so mapiter-determinism lints them. The list is no longer
+// hand-curated: the resultpkgs analyzer derives the same set from the module
+// call graph (packages reachable from the result-producing entry points in
+// DefaultEntryPoints) and fails when this list drifts from the derivation,
+// in either direction. Each entry, and why its ordering is user-visible:
+//
+//   - internal/core: the scrollbar levels, partitions and witnesses;
+//   - internal/rules: rule evaluation and serialization order;
+//   - internal/rulegen: the order of generated rules in a RuleSet;
+//   - internal/analysis: profiling output;
+//   - internal/entity, internal/signature, internal/partition,
+//     internal/tokenize, internal/sim, internal/ontology: the ID lists,
+//     token streams and similarity values feeding those paths;
+//   - internal/obs: trace JSON and /metrics text, byte-stable so dumps diff
+//     cleanly across runs;
+//   - internal/difftest: differential comparisons and failure messages,
+//     deterministic so divergences reproduce;
+//   - internal/datagen, internal/presets: the seeded corpora the
+//     differential harness compares over — a derivation catch the
+//     hand-maintained list had missed.
 var DefaultResultPackages = []string{
-	"internal/core",
-	"internal/rules",
 	"internal/analysis",
-	"internal/entity",
-	"internal/signature",
-	"internal/obs",
+	"internal/core",
+	"internal/datagen",
 	"internal/difftest",
+	"internal/entity",
+	"internal/obs",
+	"internal/ontology",
+	"internal/partition",
+	"internal/presets",
+	"internal/rulegen",
+	"internal/rules",
+	"internal/signature",
+	"internal/sim",
+	"internal/tokenize",
 }
 
 // MapIter is the mapiter-determinism analyzer: in result-producing packages
@@ -70,22 +91,57 @@ func (a MapIter) Run(pass *Pass) {
 			if !ok {
 				return true
 			}
-			for i, stmt := range block.List {
-				rng, ok := stmt.(*ast.RangeStmt)
-				if !ok || !isMapType(pass.Info.TypeOf(rng.X)) {
-					continue
+			for _, esc := range mapEscapes(pass.Info, block) {
+				if esc.output {
+					pass.Reportf(esc.pos, "map iteration writes output in random order; collect and sort keys first")
+				} else {
+					pass.Reportf(esc.pos, "map iteration appends to %q in random order without a following sort; sort the slice (or range over sorted keys) before emitting results", esc.slice)
 				}
-				a.checkRange(pass, rng, block.List[i+1:])
 			}
 			return true
 		})
 	}
 }
 
-// checkRange inspects one map-range statement. rest holds the statements
+// mapEscape is one map-range statement whose iteration order escapes: into
+// a slice (slice holds the appended variable's name) or into output writes
+// (output true). The call graph turns these into detersafe facts; MapIter
+// turns them into per-package diagnostics.
+type mapEscape struct {
+	pos    token.Pos
+	slice  string
+	output bool
+}
+
+// what renders the escape as a detersafe fact description.
+func (e mapEscape) what() string {
+	if e.output {
+		return "map iteration order escapes into output writes"
+	}
+	return fmt.Sprintf("map iteration order escapes into slice %q", e.slice)
+}
+
+// mapEscapes scans the statements of one block for map ranges whose
+// iteration order escapes. Only direct children of the block are
+// considered, so walking every BlockStmt of a file visits each range
+// exactly once; the statements following the range in the same block are
+// where a redeeming sort may appear.
+func mapEscapes(info *types.Info, block *ast.BlockStmt) []mapEscape {
+	var escapes []mapEscape
+	for i, stmt := range block.List {
+		rng, ok := stmt.(*ast.RangeStmt)
+		if !ok || !isMapType(info.TypeOf(rng.X)) {
+			continue
+		}
+		escapes = append(escapes, rangeEscapes(info, rng, block.List[i+1:])...)
+	}
+	return escapes
+}
+
+// rangeEscapes inspects one map-range statement. rest holds the statements
 // following it in the enclosing block, where a redeeming sort may appear.
-func (a MapIter) checkRange(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
-	keyObj := rangeKeyObject(pass, rng)
+func rangeEscapes(info *types.Info, rng *ast.RangeStmt, rest []ast.Stmt) []mapEscape {
+	keyObj := rangeKeyObject(info, rng)
 	appended := map[types.Object]bool{}
 	writes := false
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
@@ -96,41 +152,50 @@ func (a MapIter) checkRange(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
 				if !ok {
 					continue
 				}
-				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && pass.Info.Uses[id] == types.Universe.Lookup("append") {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && info.Uses[id] == types.Universe.Lookup("append") {
 					if len(n.Lhs) > 0 {
-						if indexedByKey(pass, n.Lhs[0], keyObj) {
+						if indexedByKey(info, n.Lhs[0], keyObj) {
 							continue // m[k] = append(m[k], ...) is per-key, order-independent
 						}
-						if obj := rootObject(pass, n.Lhs[0]); obj != nil {
+						if obj := rootObject(info, n.Lhs[0]); obj != nil {
 							appended[obj] = true
 						}
 					}
 				}
 			}
 		case *ast.CallExpr:
-			if isOutputCall(pass, n) {
+			if isOutputCall(info, n) {
 				writes = true
 			}
 		}
 		return true
 	})
 	if writes {
-		pass.Reportf(rng.Pos(), "map iteration writes output in random order; collect and sort keys first")
-		return
+		return []mapEscape{{pos: rng.Pos(), output: true}}
 	}
-	if len(appended) == 0 {
-		return
-	}
+	var escapes []mapEscape
 	for obj := range appended {
-		if !sortedLater(pass, obj, rest) {
-			pass.Reportf(rng.Pos(), "map iteration appends to %q in random order without a following sort; sort the slice (or range over sorted keys) before emitting results", obj.Name())
+		if !sortedLater(info, obj, rest) {
+			escapes = append(escapes, mapEscape{pos: rng.Pos(), slice: obj.Name()})
+		}
+	}
+	// Map iteration builds `appended` in nondeterministic order; sort the
+	// escapes so diagnostics and call-graph facts are byte-stable.
+	sortEscapes(escapes)
+	return escapes
+}
+
+func sortEscapes(escapes []mapEscape) {
+	for i := 1; i < len(escapes); i++ {
+		for j := i; j > 0 && escapes[j].slice < escapes[j-1].slice; j-- {
+			escapes[j], escapes[j-1] = escapes[j-1], escapes[j]
 		}
 	}
 }
 
 // sortedLater reports whether any statement in rest passes obj to a
 // sort.* / slices.* call (directly or nested inside the statement).
-func sortedLater(pass *Pass, obj types.Object, rest []ast.Stmt) bool {
+func sortedLater(info *types.Info, obj types.Object, rest []ast.Stmt) bool {
 	found := false
 	for _, stmt := range rest {
 		ast.Inspect(stmt, func(n ast.Node) bool {
@@ -147,7 +212,7 @@ func sortedLater(pass *Pass, obj types.Object, rest []ast.Stmt) bool {
 				return true
 			}
 			for _, arg := range call.Args {
-				if rootObject(pass, arg) == obj {
+				if rootObject(info, arg) == obj {
 					found = true
 				}
 			}
@@ -159,20 +224,20 @@ func sortedLater(pass *Pass, obj types.Object, rest []ast.Stmt) bool {
 
 // rangeKeyObject returns the object of the range statement's key variable,
 // or nil.
-func rangeKeyObject(pass *Pass, rng *ast.RangeStmt) types.Object {
+func rangeKeyObject(info *types.Info, rng *ast.RangeStmt) types.Object {
 	id, ok := rng.Key.(*ast.Ident)
 	if !ok || id.Name == "_" {
 		return nil
 	}
-	if obj := pass.Info.Defs[id]; obj != nil {
+	if obj := info.Defs[id]; obj != nil {
 		return obj
 	}
-	return pass.Info.Uses[id] // `for k = range` with a pre-declared variable
+	return info.Uses[id] // `for k = range` with a pre-declared variable
 }
 
 // indexedByKey reports whether e is an index expression whose index is the
 // range key (writes to m[k] are per-key and therefore order-independent).
-func indexedByKey(pass *Pass, e ast.Expr, keyObj types.Object) bool {
+func indexedByKey(info *types.Info, e ast.Expr, keyObj types.Object) bool {
 	if keyObj == nil {
 		return false
 	}
@@ -181,19 +246,19 @@ func indexedByKey(pass *Pass, e ast.Expr, keyObj types.Object) bool {
 		return false
 	}
 	id, ok := ix.Index.(*ast.Ident)
-	return ok && pass.Info.Uses[id] == keyObj
+	return ok && info.Uses[id] == keyObj
 }
 
 // rootObject resolves the base identifier of an expression (x, x.f, x[i],
 // &x, x.f[i].g ...) to its object.
-func rootObject(pass *Pass, e ast.Expr) types.Object {
+func rootObject(info *types.Info, e ast.Expr) types.Object {
 	for {
 		switch x := e.(type) {
 		case *ast.Ident:
-			if obj := pass.Info.Uses[x]; obj != nil {
+			if obj := info.Uses[x]; obj != nil {
 				return obj
 			}
-			return pass.Info.Defs[x]
+			return info.Defs[x]
 		case *ast.SelectorExpr:
 			e = x.X
 		case *ast.IndexExpr:
@@ -212,13 +277,13 @@ func rootObject(pass *Pass, e ast.Expr) types.Object {
 
 // isOutputCall reports calls that emit user-visible output: fmt.Print*/
 // fmt.Fprint* and Write/WriteString methods.
-func isOutputCall(pass *Pass, call *ast.CallExpr) bool {
+func isOutputCall(info *types.Info, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
 	if pkgID, ok := sel.X.(*ast.Ident); ok && pkgID.Name == "fmt" {
-		if obj, ok := pass.Info.Uses[pkgID].(*types.PkgName); ok && obj.Imported().Path() == "fmt" {
+		if obj, ok := info.Uses[pkgID].(*types.PkgName); ok && obj.Imported().Path() == "fmt" {
 			return strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint")
 		}
 	}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ResultPkgs is the resultpkgs analyzer: it derives the set of
+// result-producing packages from the call graph — the packages holding code
+// reachable from the result entry points (DefaultEntryPoints) — and fails
+// when DefaultResultPackages is stale in either direction. This closes the
+// manual-list drift: a new package wired into the discovery or
+// rule-generation path joins mapiter-determinism coverage by failing the
+// lint until it is added, and a package dropped from the result path must be
+// removed.
+type ResultPkgs struct {
+	// Entries holds the result-producing roots; nil means DefaultEntryPoints.
+	Entries []EntryPoint
+	// Expected is the list to validate; nil means DefaultResultPackages. With
+	// a nil Expected the analyzer only runs when the load includes both the
+	// module root package and internal/lint (i.e. a whole-module lint): on a
+	// partial load the derivation would be truncated and every comparison
+	// spurious.
+	Expected []string
+}
+
+// Name implements Analyzer.
+func (ResultPkgs) Name() string { return "resultpkgs" }
+
+// Doc implements Analyzer.
+func (ResultPkgs) Doc() string {
+	return "DefaultResultPackages out of sync with the packages reachable from the result entry points"
+}
+
+// Run implements Analyzer; resultpkgs is interprocedural, see RunModule.
+func (ResultPkgs) Run(*Pass) {}
+
+// RunModule implements ModuleAnalyzer.
+func (a ResultPkgs) RunModule(mp *ModulePass) {
+	expected := a.Expected
+	anchor := token.NoPos
+	if expected == nil {
+		lintPkg := findPackage(mp.Pkgs, mp.Module+"/internal/lint")
+		if findPackage(mp.Pkgs, mp.Module) == nil || lintPkg == nil {
+			return // partial load: the derivation would be meaningless
+		}
+		expected = DefaultResultPackages
+		anchor = varDeclPos(lintPkg, "DefaultResultPackages")
+	}
+	entries := a.Entries
+	if entries == nil {
+		entries = DefaultEntryPoints
+	}
+	derived := deriveResultPackages(mp.Graph, entries)
+	if anchor == token.NoPos {
+		if roots := entryNodes(mp.Graph, entries); len(roots) > 0 {
+			anchor = roots[0].Decl.Name.Pos()
+		} else if len(mp.Pkgs) > 0 && len(mp.Pkgs[0].Files) > 0 {
+			anchor = mp.Pkgs[0].Files[0].Pos()
+		} else {
+			return
+		}
+	}
+
+	want := map[string]bool{}
+	for _, p := range expected {
+		want[p] = true
+	}
+	got := map[string]bool{}
+	for _, p := range derived {
+		got[p] = true
+	}
+	for _, p := range derived {
+		if !want[p] {
+			mp.Reportf(anchor, "package %q is reachable from the result entry points but missing from DefaultResultPackages; add it so mapiter-determinism covers it", p)
+		}
+	}
+	missing := make([]string, 0, len(want))
+	for p := range want {
+		if !got[p] {
+			missing = append(missing, p)
+		}
+	}
+	sort.Strings(missing)
+	for _, p := range missing {
+		mp.Reportf(anchor, "package %q in DefaultResultPackages is not reachable from the result entry points; remove it (or add the entry point that makes it result-producing)", p)
+	}
+}
+
+// deriveResultPackages returns the module-relative paths of the packages
+// holding code reachable from the entry points, sorted. The module root is
+// excluded (mapiter always analyzes it) and so are main packages.
+func deriveResultPackages(g *CallGraph, entries []EntryPoint) []string {
+	visited, _ := reachableFrom(entryNodes(g, entries))
+	set := map[string]bool{}
+	for _, n := range visited {
+		if n.Main || n.PkgPath == g.Module {
+			continue
+		}
+		set[strings.TrimPrefix(n.PkgPath, g.Module+"/")] = true
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// findPackage returns the loaded base (non-test) unit with the given path.
+func findPackage(pkgs []*Package, path string) *Package {
+	for _, p := range pkgs {
+		if p.Path == path {
+			return p
+		}
+	}
+	return nil
+}
+
+// varDeclPos locates the declaration of a package-level variable.
+func varDeclPos(pkg *Package, name string) token.Pos {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, id := range vs.Names {
+					if id.Name == name {
+						return id.Pos()
+					}
+				}
+			}
+		}
+	}
+	return token.NoPos
+}

@@ -20,8 +20,8 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== dimelint ./..."
-go run ./cmd/dimelint ./...
+echo "== dimelint ./... (baseline: lint.baseline.json)"
+go run ./cmd/dimelint -baseline lint.baseline.json ./...
 
 echo "== go test -race ./..."
 go test -race ./...
