@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench
+.PHONY: build test lint alloc-report check bench
 
 build:
 	$(GO) build ./...
@@ -8,11 +8,17 @@ build:
 test:
 	$(GO) test ./...
 
-# Static analysis with the checked-in baseline: fails only on findings not
-# recorded in lint.baseline.json (kept empty — fix or //lint:ignore instead
-# of baselining whenever possible).
+# Static analysis with the checked-in baseline and allocation budget: fails
+# only on findings not recorded in lint.baseline.json (kept empty — fix or
+# //lint:ignore instead of baselining whenever possible) or hot-path
+# allocation sites beyond alloc.budget.json (regenerate deliberately with
+# `go run ./cmd/dimelint -write-alloc-budget alloc.budget.json ./...`).
 lint:
-	$(GO) run ./cmd/dimelint -baseline lint.baseline.json ./...
+	$(GO) run ./cmd/dimelint -baseline lint.baseline.json -alloc-budget alloc.budget.json ./...
+
+# Ranked hot-path allocation sites (what alloc.budget.json gates).
+alloc-report:
+	$(GO) run ./cmd/dimelint -alloc-report ./...
 
 # Full verification gate: build, vet, dimelint, race tests, fuzz smoke.
 # Override the fuzz budget with FUZZTIME=30s etc. Add CHECK_BENCH=1 to also

@@ -4,9 +4,16 @@
 // pipes the benchmark run through it to produce BENCH_core.json, the
 // checked-in performance snapshot diffed across commits.
 //
+// With -prev it also diffs the new snapshot against a previous one,
+// printing per-benchmark ns/op and allocs/op deltas to stderr, and with
+// -gate it turns the diff into a regression gate: when a gated benchmark's
+// allocs/op grows by more than -max-allocs-regress percent, benchjson exits
+// 2 (after writing the output, so the regressing snapshot is inspectable).
+//
 // Usage:
 //
-//	go test -bench=. -benchmem | benchjson [-o out.json]
+//	go test -bench=. -benchmem | benchjson [-o out.json] \
+//	    [-prev old.json [-gate BenchmarkDIMEPlus] [-max-allocs-regress 25]]
 package main
 
 import (
@@ -41,6 +48,9 @@ var procSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	prevPath := flag.String("prev", "", "previous snapshot `file` to diff against (deltas print to stderr)")
+	gate := flag.String("gate", "", "benchmark `name` (exact, or prefix of its sub-benchmarks) gated against allocs/op regressions vs -prev")
+	maxRegress := flag.Float64("max-allocs-regress", 25, "fail (exit 2) when a gated benchmark's allocs/op grows more than this `percent` vs -prev")
 	flag.Parse()
 
 	doc, err := parse(os.Stdin)
@@ -77,6 +87,72 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+
+	if *prevPath != "" {
+		prev, err := readSnapshot(*prevPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		regressions := diff(doc, prev, *gate, *maxRegress, os.Stderr)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION: %s\n", r)
+		}
+		if len(regressions) > 0 {
+			os.Exit(2)
+		}
+	}
+}
+
+// readSnapshot loads a previously written Document.
+func readSnapshot(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &doc, nil
+}
+
+// diff prints per-benchmark ns/op and allocs/op deltas against prev for
+// every benchmark present in both snapshots, and returns the regression
+// messages for gated benchmarks whose allocs/op grew more than maxRegress
+// percent. gate matches the benchmark exactly or as a "gate/" sub-benchmark
+// prefix, so -gate BenchmarkDIMEPlus covers BenchmarkDIMEPlus/nil-probe and
+// /traced without catching BenchmarkDIMEPlusParallel.
+func diff(doc, prev *Document, gate string, maxRegress float64, w io.Writer) []string {
+	var regressions []string
+	for _, name := range doc.Names() {
+		old, ok := prev.Benchmarks[name]
+		if !ok {
+			continue
+		}
+		cur := doc.Benchmarks[name]
+		fmt.Fprintf(w, "benchjson: %s: ns/op %.0f -> %.0f (%s), allocs/op %.0f -> %.0f (%s)\n",
+			name, old.NsPerOp, cur.NsPerOp, pctDelta(old.NsPerOp, cur.NsPerOp),
+			old.AllocsPerOp, cur.AllocsPerOp, pctDelta(old.AllocsPerOp, cur.AllocsPerOp))
+		gated := gate != "" && (name == gate || strings.HasPrefix(name, gate+"/"))
+		if gated && old.AllocsPerOp > 0 {
+			growth := (cur.AllocsPerOp - old.AllocsPerOp) / old.AllocsPerOp * 100
+			if growth > maxRegress {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s allocs/op grew %.1f%% (%.0f -> %.0f), over the %.0f%% budget",
+					name, growth, old.AllocsPerOp, cur.AllocsPerOp, maxRegress))
+			}
+		}
+	}
+	return regressions
+}
+
+// pctDelta renders a relative change, guarding the zero denominator.
+func pctDelta(old, cur float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (cur-old)/old*100)
 }
 
 // parse scans benchmark result lines ("BenchmarkX-8  30  40123 ns/op  ...").

@@ -71,6 +71,54 @@ func TestParseSkipsMalformed(t *testing.T) {
 	}
 }
 
+func TestDiffDeltasAndGate(t *testing.T) {
+	prev := &Document{Benchmarks: map[string]Result{
+		"BenchmarkDIMEPlus/nil-probe":    {NsPerOp: 40e6, AllocsPerOp: 58000},
+		"BenchmarkDIMEPlus/traced":       {NsPerOp: 41e6, AllocsPerOp: 58300},
+		"BenchmarkDIMEPlusParallel/fast": {NsPerOp: 20e6, AllocsPerOp: 100000},
+		"BenchmarkGone":                  {NsPerOp: 1, AllocsPerOp: 1},
+	}}
+	cur := &Document{Benchmarks: map[string]Result{
+		"BenchmarkDIMEPlus/nil-probe":    {NsPerOp: 27e6, AllocsPerOp: 14835},
+		"BenchmarkDIMEPlus/traced":       {NsPerOp: 28e6, AllocsPerOp: 80000}, // +37%
+		"BenchmarkDIMEPlusParallel/fast": {NsPerOp: 20e6, AllocsPerOp: 999999},
+		"BenchmarkNew":                   {NsPerOp: 5, AllocsPerOp: 5},
+	}}
+
+	var out strings.Builder
+	regressions := diff(cur, prev, "BenchmarkDIMEPlus", 25, &out)
+
+	// Deltas print for benchmarks present in both snapshots only.
+	text := out.String()
+	if !strings.Contains(text, "BenchmarkDIMEPlus/nil-probe: ns/op 40000000 -> 27000000 (-32.5%), allocs/op 58000 -> 14835 (-74.4%)") {
+		t.Errorf("improvement delta missing:\n%s", text)
+	}
+	if strings.Contains(text, "BenchmarkGone") || strings.Contains(text, "BenchmarkNew") {
+		t.Errorf("unmatched benchmarks should not diff:\n%s", text)
+	}
+
+	// Only the gated sub-benchmark over budget regresses; the parallel
+	// benchmark's blowup is outside the gate prefix.
+	if len(regressions) != 1 {
+		t.Fatalf("regressions = %v, want exactly the traced one", regressions)
+	}
+	if !strings.Contains(regressions[0], "BenchmarkDIMEPlus/traced") || !strings.Contains(regressions[0], "37.2%") {
+		t.Errorf("regression message: %s", regressions[0])
+	}
+
+	// Within budget: no regression.
+	cur.Benchmarks["BenchmarkDIMEPlus/traced"] = Result{NsPerOp: 28e6, AllocsPerOp: 60000} // +2.9%
+	if got := diff(cur, prev, "BenchmarkDIMEPlus", 25, &strings.Builder{}); len(got) != 0 {
+		t.Errorf("within-budget growth flagged: %v", got)
+	}
+
+	// No gate, no regressions regardless of growth.
+	cur.Benchmarks["BenchmarkDIMEPlus/traced"] = Result{NsPerOp: 28e6, AllocsPerOp: 999999}
+	if got := diff(cur, prev, "", 25, &strings.Builder{}); len(got) != 0 {
+		t.Errorf("ungated diff flagged regressions: %v", got)
+	}
+}
+
 func TestJSONShape(t *testing.T) {
 	doc, err := parse(strings.NewReader(sample))
 	if err != nil {

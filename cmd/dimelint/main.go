@@ -1,8 +1,8 @@
 // Command dimelint runs DIME's static-analysis suite (internal/lint) over
 // the module and reports violations of the codebase's correctness
 // invariants with file:line diagnostics — per-package analyzers plus the
-// interprocedural detersafe / panicprop / resultpkgs passes over the module
-// call graph.
+// interprocedural detersafe / panicprop / resultpkgs / alloclint passes over
+// the module call graph.
 //
 // Usage:
 //
@@ -13,12 +13,18 @@
 //
 //	//lint:ignore <analyzer|all> <reason>
 //
-// or accepted in a baseline file (see -baseline). Exit codes:
+// or accepted in a baseline file (see -baseline). Hot-path allocation
+// findings (alloclint) are budgeted separately through -alloc-budget, so the
+// correctness baseline and the performance budget evolve independently;
+// -alloc-report prints the underlying ranked allocation sites. With -only,
+// baseline and budget entries for unselected analyzers are ignored entirely:
+// they are neither applied nor reported stale, so a narrowed run never
+// invents staleness. Exit codes:
 //
-//	0  no findings (or every finding is covered by the baseline)
-//	1  findings (with -baseline: findings not covered by it)
-//	2  usage or load error (bad flags, unmatched patterns, unreadable
-//	   baseline)
+//	0  no findings (or every finding is covered by baseline/budget)
+//	1  findings (with -baseline/-alloc-budget: findings not covered)
+//	2  usage or load error (bad flags, unknown -only analyzer, unmatched
+//	   patterns, unreadable baseline/budget)
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"dime/internal/lint"
@@ -48,13 +55,48 @@ type jsonFinding struct {
 	Message  string `json:"message"`
 }
 
+// jsonStale is the -json wire form of one stale baseline/budget entry: a
+// recorded finding that no longer occurs and should be garbage-collected
+// from its file.
+type jsonStale struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// jsonOutput is the -json document: current findings plus stale
+// baseline/budget entries (text mode prints the latter to stderr).
+type jsonOutput struct {
+	Findings []jsonFinding `json:"findings"`
+	Stale    []jsonStale   `json:"stale"`
+}
+
+// jsonAllocSite is the -alloc-report -json wire form of one ranked site.
+type jsonAllocSite struct {
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+	Kind      string `json:"kind"`
+	Func      string `json:"func"`
+	LoopDepth int    `json:"loopDepth"`
+	Dist      int    `json:"dist"`
+	Entry     string `json:"entry"`
+	Weight    int    `json:"weight"`
+	Message   string `json:"message"`
+}
+
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dimelint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	list := fs.Bool("list", false, "list analyzers and exit")
-	asJSON := fs.Bool("json", false, "emit findings as a JSON array instead of file:line text")
-	baselinePath := fs.String("baseline", "", "accept findings recorded in this baseline `file`; fail only on new ones")
-	writeBaseline := fs.String("write-baseline", "", "record current findings to this baseline `file` and exit 0")
+	list := fs.Bool("list", false, "list the selected analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit a JSON object {findings, stale} instead of file:line text")
+	baselinePath := fs.String("baseline", "", "accept non-alloclint findings recorded in this baseline `file`; fail only on new ones")
+	writeBaseline := fs.String("write-baseline", "", "record current non-alloclint findings to this baseline `file` and exit 0")
+	only := fs.String("only", "", "comma-separated `analyzers` to run (see -list); others are skipped and their baseline/budget entries ignored")
+	allocBudget := fs.String("alloc-budget", "", "accept alloclint findings recorded in this budget `file`; fail only when a hot-path allocation site is added")
+	writeAllocBudget := fs.String("write-alloc-budget", "", "record current alloclint findings to this budget `file` and exit 0")
+	allocReport := fs.Bool("alloc-report", false, "print the ranked hot-path allocation-site report and exit (honors -json)")
 	typeErrors := fs.Bool("type-errors", false, "also print type-check errors (findings are best-effort when present)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: dimelint [flags] [patterns...]\n\npatterns default to ./...; flags:\n")
@@ -65,11 +107,22 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	analyzers := lint.All()
+	if *only != "" {
+		sel, err := selectAnalyzers(analyzers, *only)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		analyzers = sel
+	}
 	if *list {
 		for _, a := range analyzers {
 			fmt.Fprintf(stdout, "%-22s %s\n", a.Name(), a.Doc())
 		}
 		return 0
+	}
+	selected := map[string]bool{}
+	for _, a := range analyzers {
+		selected[a.Name()] = true
 	}
 
 	cwd, err := os.Getwd()
@@ -96,33 +149,85 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *allocReport {
+		return runAllocReport(pkgs, modRoot, *asJSON, stdout, stderr)
+	}
+
 	diags := lint.Run(pkgs, analyzers)
 
-	if *writeBaseline != "" {
-		b := lint.NewBaseline(diags, modRoot)
-		if err := b.Write(*writeBaseline); err != nil {
-			return fatal(stderr, err)
+	// alloclint findings gate against the allocation budget; everything else
+	// gates against the correctness baseline. The split keeps a perf-budget
+	// bump from touching lint.baseline.json and vice versa.
+	var allocDiags, restDiags []lint.Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == (lint.AllocLint{}).Name() {
+			allocDiags = append(allocDiags, d)
+		} else {
+			restDiags = append(restDiags, d)
 		}
-		fmt.Fprintf(stderr, "dimelint: recorded %d finding(s) to %s\n", len(diags), *writeBaseline)
+	}
+
+	if *writeBaseline != "" || *writeAllocBudget != "" {
+		if *writeBaseline != "" {
+			b := lint.NewBaseline(restDiags, modRoot)
+			if err := b.Write(*writeBaseline); err != nil {
+				return fatal(stderr, err)
+			}
+			fmt.Fprintf(stderr, "dimelint: recorded %d finding(s) to %s\n", len(restDiags), *writeBaseline)
+		}
+		if *writeAllocBudget != "" {
+			b := lint.NewBaseline(allocDiags, modRoot)
+			if err := b.Write(*writeAllocBudget); err != nil {
+				return fatal(stderr, err)
+			}
+			fmt.Fprintf(stderr, "dimelint: recorded %d alloc site(s) to %s\n", len(allocDiags), *writeAllocBudget)
+		}
 		return 0
 	}
 
+	var staleOut []lint.BaselineFinding
 	if *baselinePath != "" {
 		b, err := lint.ReadBaseline(*baselinePath)
 		if err != nil {
 			return fatal(stderr, err)
 		}
-		fresh, stale := b.Apply(diags, modRoot)
-		for _, f := range stale {
-			fmt.Fprintf(stderr, "dimelint: stale baseline entry (finding no longer occurs): %s: %s: %s\n", f.File, f.Analyzer, f.Message)
+		keepEntry := func(analyzer string) bool {
+			return selected[analyzer] && analyzer != (lint.AllocLint{}).Name()
 		}
-		diags = fresh
+		fresh, stale := filterBaseline(b, keepEntry).Apply(restDiags, modRoot)
+		restDiags = fresh
+		staleOut = append(staleOut, stale...)
+	}
+	if *allocBudget != "" && selected[(lint.AllocLint{}).Name()] {
+		b, err := lint.ReadBaseline(*allocBudget)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		keepEntry := func(analyzer string) bool { return analyzer == (lint.AllocLint{}).Name() }
+		fresh, stale := filterBaseline(b, keepEntry).Apply(allocDiags, modRoot)
+		allocDiags = fresh
+		staleOut = append(staleOut, stale...)
 	}
 
+	diags = append(restDiags, allocDiags...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+
 	if *asJSON {
-		findings := make([]jsonFinding, 0, len(diags))
+		out := jsonOutput{Findings: []jsonFinding{}, Stale: []jsonStale{}}
 		for _, d := range diags {
-			findings = append(findings, jsonFinding{
+			out.Findings = append(out.Findings, jsonFinding{
 				File:     relTo(modRoot, d.Pos.Filename),
 				Line:     d.Pos.Line,
 				Col:      d.Pos.Column,
@@ -130,13 +235,19 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				Message:  d.Message,
 			})
 		}
+		for _, f := range staleOut {
+			out.Stale = append(out.Stale, jsonStale{File: f.File, Analyzer: f.Analyzer, Message: f.Message, Count: f.Count})
+		}
 		enc := json.NewEncoder(stdout)
 		enc.SetEscapeHTML(false)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(out); err != nil {
 			return fatal(stderr, err)
 		}
 	} else {
+		for _, f := range staleOut {
+			fmt.Fprintf(stderr, "dimelint: stale baseline entry (finding no longer occurs): %s: %s: %s\n", f.File, f.Analyzer, f.Message)
+		}
 		for _, d := range diags {
 			d.Pos.Filename = relTo(cwd, d.Pos.Filename)
 			fmt.Fprintln(stdout, d)
@@ -147,6 +258,79 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runAllocReport prints the ranked hot-path allocation sites.
+func runAllocReport(pkgs []*lint.Package, modRoot string, asJSON bool, stdout, stderr io.Writer) int {
+	sites := lint.AnalyzeAllocs(lint.BuildCallGraph(pkgs), nil)
+	if asJSON {
+		out := make([]jsonAllocSite, 0, len(sites))
+		for _, s := range sites {
+			out = append(out, jsonAllocSite{
+				File:      relTo(modRoot, s.Pos.Filename),
+				Line:      s.Pos.Line,
+				Col:       s.Pos.Column,
+				Kind:      string(s.Kind),
+				Func:      s.Func,
+				LoopDepth: s.LoopDepth,
+				Dist:      s.Dist,
+				Entry:     s.Entry,
+				Weight:    s.Weight,
+				Message:   s.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetEscapeHTML(false)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return fatal(stderr, err)
+		}
+		return 0
+	}
+	for i, s := range sites {
+		fmt.Fprintf(stdout, "%4d  w=%-3d depth=%d dist=%d  %-10s %s:%d:%d  %s\n",
+			i+1, s.Weight, s.LoopDepth, s.Dist, s.Kind,
+			relTo(modRoot, s.Pos.Filename), s.Pos.Line, s.Pos.Column, s.Func)
+	}
+	fmt.Fprintf(stderr, "dimelint: %d hot-path allocation site(s)\n", len(sites))
+	return 0
+}
+
+// selectAnalyzers resolves a comma-separated -only list against the suite.
+func selectAnalyzers(all []lint.Analyzer, names string) ([]lint.Analyzer, error) {
+	byName := make(map[string]lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name()] = a
+	}
+	var sel []lint.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q in -only (see -list)", name)
+		}
+		sel = append(sel, a)
+	}
+	if len(sel) == 0 {
+		return nil, fmt.Errorf("-only selected no analyzers")
+	}
+	return sel, nil
+}
+
+// filterBaseline returns a copy of b holding only the entries whose analyzer
+// passes keep, so -only runs and the baseline/budget split never report
+// entries outside their scope as stale.
+func filterBaseline(b *lint.Baseline, keep func(analyzer string) bool) *lint.Baseline {
+	out := &lint.Baseline{Version: b.Version}
+	for _, f := range b.Findings {
+		if keep(f.Analyzer) {
+			out.Findings = append(out.Findings, f)
+		}
+	}
+	return out
 }
 
 // relTo renders path relative to dir (forward slashes) when it is inside it.

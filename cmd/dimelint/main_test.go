@@ -39,36 +39,50 @@ lib.go:20:2: panic-in-library: panic in library function inner; return an error 
 lib.go:24:11: float-threshold: exact == on float values; use sim.Eq (epsilon 1e-9) instead
 `
 
-const fixtureGoldenJSON = `[
-  {
-    "file": "lib.go",
-    "line": 11,
-    "col": 9,
-    "analyzer": "detersafe",
-    "message": "time.Now (wall clock) in fixturemod.tick is reachable from result entry point fixturemod.Discover; results must not depend on it (chain: fixturemod.Discover -> fixturemod.tick)"
-  },
-  {
-    "file": "lib.go",
-    "line": 15,
-    "col": 6,
-    "analyzer": "panicprop",
-    "message": "exported fixturemod.Outer can reach panic via fixturemod.inner (chain: fixturemod.Outer -> fixturemod.inner); return an error or absorb the panic behind recover/MustX"
-  },
-  {
-    "file": "lib.go",
-    "line": 20,
-    "col": 2,
-    "analyzer": "panic-in-library",
-    "message": "panic in library function inner; return an error or move the panic into a Must* constructor"
-  },
-  {
-    "file": "lib.go",
-    "line": 24,
-    "col": 11,
-    "analyzer": "float-threshold",
-    "message": "exact == on float values; use sim.Eq (epsilon 1e-9) instead"
-  }
-]
+const fixtureGoldenJSON = `{
+  "findings": [
+    {
+      "file": "lib.go",
+      "line": 11,
+      "col": 9,
+      "analyzer": "detersafe",
+      "message": "time.Now (wall clock) in fixturemod.tick is reachable from result entry point fixturemod.Discover; results must not depend on it (chain: fixturemod.Discover -> fixturemod.tick)"
+    },
+    {
+      "file": "lib.go",
+      "line": 15,
+      "col": 6,
+      "analyzer": "panicprop",
+      "message": "exported fixturemod.Outer can reach panic via fixturemod.inner (chain: fixturemod.Outer -> fixturemod.inner); return an error or absorb the panic behind recover/MustX"
+    },
+    {
+      "file": "lib.go",
+      "line": 20,
+      "col": 2,
+      "analyzer": "panic-in-library",
+      "message": "panic in library function inner; return an error or move the panic into a Must* constructor"
+    },
+    {
+      "file": "lib.go",
+      "line": 24,
+      "col": 11,
+      "analyzer": "float-threshold",
+      "message": "exact == on float values; use sim.Eq (epsilon 1e-9) instead"
+    }
+  ],
+  "stale": []
+}
+`
+
+// allocGolden is the alloclint text output over the allocmod fixture, whose
+// hot loop allocates through an unevidenced append and a Sprintf.
+const allocGolden = `lib.go:9:9: alloclint: append without preallocation evidence in hot-path function allocmod.Discover (loop depth 1); hoist it, reuse a buffer, or record it in the alloc budget
+lib.go:9:21: alloclint: fmt.Sprintf in a non-error path in hot-path function allocmod.Discover (loop depth 1); hoist it, reuse a buffer, or record it in the alloc budget
+`
+
+// allocReportGolden is the ranked -alloc-report text over allocmod.
+const allocReportGolden = `   1  w=24  depth=1 dist=0  append     lib.go:9:9  allocmod.Discover
+   2  w=24  depth=1 dist=0  format     lib.go:9:21  allocmod.Discover
 `
 
 func TestRunList(t *testing.T) {
@@ -165,6 +179,167 @@ func TestRunBaselineWorkflow(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "stale baseline entry") || !strings.Contains(stderr, "gone.go") {
 		t.Errorf("want stale-entry warning on stderr, got: %s", stderr)
+	}
+}
+
+func TestRunOnly(t *testing.T) {
+	chdir(t, filepath.Join("testdata", "src", "fixturemod"))
+
+	// A narrowed run reports just the selected analyzer's findings.
+	code, stdout, _ := runCLI(t, "-only", "detersafe")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if want := fixtureGolden[:strings.Index(fixtureGolden, "\n")+1]; stdout != want {
+		t.Errorf("-only detersafe:\n--- got ---\n%s--- want ---\n%s", stdout, want)
+	}
+
+	// -list honors -only.
+	code, stdout, _ = runCLI(t, "-list", "-only", "detersafe,float-threshold")
+	if code != 0 || strings.Contains(stdout, "panicprop") || !strings.Contains(stdout, "detersafe") {
+		t.Errorf("-list -only: exit=%d stdout=%s", code, stdout)
+	}
+
+	// Unknown analyzer names are usage errors.
+	code, _, stderr := runCLI(t, "-only", "nope")
+	if code != 2 || !strings.Contains(stderr, "unknown analyzer") {
+		t.Errorf("-only nope: exit=%d stderr=%s", code, stderr)
+	}
+}
+
+// TestRunOnlyBaselineInteraction checks the documented -only/-baseline
+// contract: entries for unselected analyzers are neither applied nor
+// reported stale.
+func TestRunOnlyBaselineInteraction(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+	chdir(t, filepath.Join("testdata", "src", "fixturemod"))
+
+	if code, _, stderr := runCLI(t, "-write-baseline", baseline); code != 0 {
+		t.Fatalf("write-baseline: exit=%d stderr=%s", code, stderr)
+	}
+	// The full baseline holds entries for four analyzers; a detersafe-only
+	// run must stay clean and must not call the other three entries stale.
+	code, stdout, stderr := runCLI(t, "-only", "detersafe", "-baseline", baseline)
+	if code != 0 || stdout != "" {
+		t.Fatalf("narrowed baselined run: exit=%d stdout=%q stderr=%s", code, stdout, stderr)
+	}
+	if strings.Contains(stderr, "stale") {
+		t.Errorf("unselected analyzers' entries reported stale: %s", stderr)
+	}
+}
+
+// TestRunJSONStale checks that stale entries surface in the -json object.
+func TestRunJSONStale(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+	chdir(t, filepath.Join("testdata", "src", "fixturemod"))
+
+	if code, _, stderr := runCLI(t, "-write-baseline", baseline); code != 0 {
+		t.Fatalf("write-baseline: exit=%d stderr=%s", code, stderr)
+	}
+	b, err := lint.ReadBaseline(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Findings = append(b.Findings, lint.BaselineFinding{File: "gone.go", Analyzer: "detersafe", Message: "no longer here", Count: 2})
+	if err := b.Write(baseline); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ := runCLI(t, "-json", "-baseline", baseline)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stale entries do not fail)", code)
+	}
+	if !strings.Contains(stdout, `"findings": [],`) {
+		t.Errorf("want empty findings array, got:\n%s", stdout)
+	}
+	for _, frag := range []string{`"file": "gone.go"`, `"message": "no longer here"`, `"count": 2`} {
+		if !strings.Contains(stdout, frag) {
+			t.Errorf("stale array missing %s in:\n%s", frag, stdout)
+		}
+	}
+}
+
+func TestRunAllocBudgetWorkflow(t *testing.T) {
+	budget := filepath.Join(t.TempDir(), "alloc.budget.json")
+	chdir(t, filepath.Join("testdata", "src", "allocmod"))
+
+	// Unbudgeted, both hot-loop sites are findings.
+	code, stdout, stderr := runCLI(t)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	if stdout != allocGolden {
+		t.Errorf("stdout mismatch:\n--- got ---\n%s--- want ---\n%s", stdout, allocGolden)
+	}
+
+	// Record the budget; a budgeted run is clean.
+	code, _, stderr = runCLI(t, "-write-alloc-budget", budget)
+	if code != 0 || !strings.Contains(stderr, "recorded 2 alloc site(s)") {
+		t.Fatalf("write-alloc-budget: exit=%d stderr=%s", code, stderr)
+	}
+	code, stdout, stderr = runCLI(t, "-alloc-budget", budget)
+	if code != 0 || stdout != "" {
+		t.Fatalf("budgeted run: exit=%d stdout=%q stderr=%s", code, stdout, stderr)
+	}
+
+	// Shrinking the budget makes the dropped site a finding again: this is
+	// exactly what adding a new hot-path allocation site looks like.
+	b, err := lint.ReadBaseline(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := b.Findings
+	b.Findings = full[1:]
+	if err := b.Write(budget); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runCLI(t, "-alloc-budget", budget)
+	if code != 1 {
+		t.Fatalf("over-budget run: exit = %d, want 1", code)
+	}
+	if want := allocGolden[:strings.Index(allocGolden, "\n")+1]; stdout != want {
+		t.Errorf("only the over-budget site should print:\n--- got ---\n%s--- want ---\n%s", stdout, want)
+	}
+
+	// A budget entry whose site was optimized away is stale, not fatal.
+	b.Findings = append(full, lint.BaselineFinding{File: "gone.go", Analyzer: "alloclint", Message: "optimized away"})
+	if err := b.Write(budget); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runCLI(t, "-alloc-budget", budget)
+	if code != 0 || !strings.Contains(stderr, "stale baseline entry") {
+		t.Fatalf("stale-budget run: exit=%d stderr=%s", code, stderr)
+	}
+
+	// With alloclint unselected the budget is not applied at all: no
+	// findings, and no stale storm from its now-unmatched entries.
+	code, stdout, stderr = runCLI(t, "-only", "detersafe", "-alloc-budget", budget)
+	if code != 0 || stdout != "" || strings.Contains(stderr, "stale") {
+		t.Fatalf("-only detersafe with budget: exit=%d stdout=%q stderr=%s", code, stdout, stderr)
+	}
+}
+
+func TestRunAllocReportGolden(t *testing.T) {
+	chdir(t, filepath.Join("testdata", "src", "allocmod"))
+	code, stdout, stderr := runCLI(t, "-alloc-report")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if stdout != allocReportGolden {
+		t.Errorf("report mismatch:\n--- got ---\n%s--- want ---\n%s", stdout, allocReportGolden)
+	}
+	if !strings.Contains(stderr, "2 hot-path allocation site(s)") {
+		t.Errorf("stderr should count sites, got: %s", stderr)
+	}
+
+	// JSON report carries the full site records.
+	code, stdout, _ = runCLI(t, "-alloc-report", "-json")
+	if code != 0 {
+		t.Fatalf("json report: exit = %d, want 0", code)
+	}
+	for _, frag := range []string{`"kind": "append"`, `"kind": "format"`, `"loopDepth": 1`, `"weight": 24`, `"entry": "allocmod.Discover"`} {
+		if !strings.Contains(stdout, frag) {
+			t.Errorf("json report missing %s in:\n%s", frag, stdout)
+		}
 	}
 }
 

@@ -1,0 +1,3 @@
+module allocmod
+
+go 1.22

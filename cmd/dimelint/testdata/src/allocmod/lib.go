@@ -1,0 +1,12 @@
+package allocmod
+
+import "fmt"
+
+// Discover is the hot entry point of this fixture.
+func Discover(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("[%s]", x))
+	}
+	return out
+}

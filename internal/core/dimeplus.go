@@ -152,6 +152,21 @@ func DIMEPlus(g *entity.Group, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// negCand is one pivot record awaiting verification against a probed entity,
+// ranked by benefit 1/(C·P).
+type negCand struct {
+	p       int32
+	benefit float32
+}
+
+// negScratch bundles the buffers plusMarkPartition reuses across partitions:
+// the signature-probe scratch and the candidate slice. One scratch per
+// goroutine; the zero value is ready to use.
+type negScratch struct {
+	probe signature.ProbeScratch
+	cands []negCand
+}
+
 // plusMarkPartition probes each entity of an outside partition against the
 // pivot. A probe that finds a provably dissimilar pivot record marks the
 // partition at once; otherwise that entity's uncertain pairs are verified in
@@ -165,35 +180,37 @@ func DIMEPlus(g *entity.Group, opts Options) (*Result, error) {
 // its work on stats — it reads only immutable records and the read-only
 // negative filter — so applyNegativeRules can run independent partitions on
 // concurrent workers and fold the per-partition stats back in partition
-// order, reproducing the sequential counters exactly.
+// order, reproducing the sequential counters exactly. The scratch carries
+// probe and candidate buffers reused across partitions; each goroutine owns
+// its own.
 func plusMarkPartition(stats *Stats, nf *signature.NegFilter, neg rules.Rule,
-	part, pivot []*rules.Record, opts Options) (Witness, bool) {
+	part, pivot []*rules.Record, opts Options, sc *negScratch) (Witness, bool) {
 
-	type negCand struct {
-		p       int32
-		benefit float32
-	}
-	cands := make([]negCand, 0, len(pivot))
+	cands := sc.cands[:0]
 	for _, e := range part {
-		pr := nf.Probe(e)
-		if pr.Certain >= 0 {
+		certain := nf.ProbeInto(e, &sc.probe)
+		if certain >= 0 {
 			stats.CertainPairsBySignature++
 			return Witness{
 				Rule:     neg.Name,
 				EntityID: e.Entity.ID,
-				PivotID:  pivot[pr.Certain].Entity.ID,
+				PivotID:  pivot[certain].Entity.ID,
 			}, true
 		}
 		cands = cands[:0]
+		// The probability estimate divides by the number of pivot records
+		// sharing anything with e (the old Probe's len(Shared) map length).
+		nonzero := sc.probe.NonzeroShared()
 		for pi, p := range pivot {
-			shared := pr.Shared[pi]
-			prob := (float64(shared) + 0.5) / (float64(len(pr.Shared)) + 1)
+			shared := sc.probe.SharedCount(pi)
+			prob := (float64(shared) + 0.5) / (float64(nonzero) + 1)
 			cost := neg.Cost(e, p)
 			if cost < 1 {
 				cost = 1
 			}
 			cands = append(cands, negCand{p: int32(pi), benefit: float32(1 / (cost * prob))})
 		}
+		sc.cands = cands // keep capacity growth for the next partition
 		if !opts.DisableBenefitOrder {
 			slices.SortFunc(cands, func(a, b negCand) int {
 				switch {

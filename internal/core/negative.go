@@ -40,6 +40,20 @@ func applyNegativeRules(res *Result, run obs.Span, ctx *signature.Context, recs 
 		pivotRecs[k] = recs[ei]
 	}
 
+	// Resolve each non-pivot partition's record slice once; the per-rule
+	// passes below only read them.
+	partRecs := make([][]*rules.Record, len(res.Partitions))
+	for pi, part := range res.Partitions {
+		if pi == res.Pivot {
+			continue
+		}
+		rs := make([]*rules.Record, len(part))
+		for k, ei := range part {
+			rs[k] = recs[ei]
+		}
+		partRecs[pi] = rs
+	}
+
 	marked := make(map[int]bool)
 	res.Witnesses = make(map[int]Witness)
 	for _, neg := range opts.Rules.Negative {
@@ -47,21 +61,17 @@ func applyNegativeRules(res *Result, run obs.Span, ctx *signature.Context, recs 
 		nf := signature.BuildNegative(ctx, neg, pivotRecs)
 		filteredBefore := res.Stats.PartitionsFilteredBySignature
 		var survivors []survivor
-		for pi, part := range res.Partitions {
+		for pi := range res.Partitions {
 			if pi == res.Pivot || marked[pi] {
 				continue
 			}
-			partRecs := make([]*rules.Record, len(part))
-			for k, ei := range part {
-				partRecs[k] = recs[ei]
-			}
-			if nf.PartitionMustSatisfy(partRecs) {
+			if nf.PartitionMustSatisfy(partRecs[pi]) {
 				marked[pi] = true
 				res.Stats.PartitionsFilteredBySignature++
 				res.Witnesses[pi] = Witness{Rule: neg.Name}
 				continue
 			}
-			survivors = append(survivors, survivor{pi: pi, recs: partRecs})
+			survivors = append(survivors, survivor{pi: pi, recs: partRecs[pi]})
 		}
 		fsp.Count("partitions-filtered", res.Stats.PartitionsFilteredBySignature-filteredBefore)
 		fsp.End()
@@ -88,8 +98,9 @@ func markSurvivors(res *Result, vsp obs.Span, nf *signature.NegFilter, neg rules
 
 	wk := opts.intraWorkers(len(survivors))
 	if wk <= 1 {
+		var sc negScratch
 		for _, sv := range survivors {
-			if w, ok := plusMarkPartition(&res.Stats, nf, neg, sv.recs, pivotRecs, opts); ok {
+			if w, ok := plusMarkPartition(&res.Stats, nf, neg, sv.recs, pivotRecs, opts, &sc); ok {
 				marked[sv.pi] = true
 				res.Witnesses[sv.pi] = w
 			}
@@ -109,9 +120,10 @@ func markSurvivors(res *Result, vsp obs.Span, nf *signature.NegFilter, neg rules
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var sc negScratch
 			for k := w; k < len(survivors); k += wk {
 				o := &outs[k]
-				o.w, o.ok = plusMarkPartition(&o.stats, nf, neg, survivors[k].recs, pivotRecs, opts)
+				o.w, o.ok = plusMarkPartition(&o.stats, nf, neg, survivors[k].recs, pivotRecs, opts, &sc)
 				perWorkerVerified[w] += o.stats.NegativeVerified
 			}
 		}(w)

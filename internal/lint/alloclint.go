@@ -1,0 +1,616 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file implements alloclint, the hot-path allocation-site analyzer. It
+// reuses the module call graph: every function reachable from the hot entry
+// points (DefaultHotEntryPoints, derived from DefaultEntryPoints — see
+// DeriveHotEntryPoints) is scanned for allocation-shaped expressions, each
+// site is classified and weighted by syntactic loop depth × reachability
+// proximity, and the sites surface two ways:
+//
+//   - as ranked AllocSites (AnalyzeAllocs) for cmd/dimelint's -alloc-report;
+//   - as position-independent diagnostics (AllocLint) matched against the
+//     checked-in alloc.budget.json, so `make check` fails when a hot-path
+//     allocation site is *added* — a static perf-regression gate.
+//
+// The analysis is syntactic and deliberately over-approximate: a composite
+// literal that escape analysis would keep on the stack still counts, because
+// the budget tracks allocation *sites*, not runtime behavior. What matters is
+// that the classification is deterministic and stable under unrelated edits
+// (messages carry the function name and loop depth, never line numbers).
+
+// HotPackages lists the module-relative packages whose internals form the
+// measured DIME/DIME+ hot path — the positive/negative phase loops and the
+// kernels they drive. It is the one hand-maintained input of the hot-path
+// derivation; the entry-point list itself is derived (DeriveHotEntryPoints)
+// and drift-tested against DefaultHotEntryPoints.
+var HotPackages = []string{
+	"internal/core",
+	"internal/partition",
+	"internal/sim",
+	"internal/signature",
+}
+
+// AllocKind classifies one allocation-shaped expression.
+type AllocKind string
+
+// The allocation classifications alloclint reports.
+const (
+	// AllocComposite is a composite literal (&T{...}, []T{...}, map{...}).
+	AllocComposite AllocKind = "composite"
+	// AllocMake is a make call.
+	AllocMake AllocKind = "make"
+	// AllocNew is a new call.
+	AllocNew AllocKind = "new"
+	// AllocAppend is an append whose base slice shows no preallocation
+	// evidence (no make-with-size or reslice of a reused buffer in the same
+	// function).
+	AllocAppend AllocKind = "append"
+	// AllocConv is a string<->[]byte (or []rune) conversion.
+	AllocConv AllocKind = "conv"
+	// AllocFormat is a fmt.Sprint* or strings.Join call in a non-error path.
+	AllocFormat AllocKind = "format"
+	// AllocBox is interface boxing of a concrete non-pointer value inside a
+	// loop (depth-0 boxing is dominated by the callee's own sites).
+	AllocBox AllocKind = "box"
+	// AllocClosure is a function literal capturing enclosing locals.
+	AllocClosure AllocKind = "closure"
+	// AllocDeferLoop is a defer inside a loop (one _defer record per
+	// iteration).
+	AllocDeferLoop AllocKind = "defer-loop"
+)
+
+// AllocSite is one classified allocation site on the hot path.
+type AllocSite struct {
+	// Pos locates the site.
+	Pos token.Position
+	// pos is the raw position in the module FileSet, for Reportf.
+	pos token.Pos
+	// Kind classifies the allocation.
+	Kind AllocKind
+	// Func is the containing function's display name
+	// ("internal/core.plusMarkPartition").
+	Func string
+	// LoopDepth is the syntactic loop nesting depth at the site (0 = not in
+	// a loop; loops outside an enclosing function literal still count).
+	LoopDepth int
+	// Dist is the BFS distance (call-graph hops) from the nearest hot entry
+	// point to the containing function.
+	Dist int
+	// Entry is the display name of the hot entry point whose BFS tree
+	// reached the function.
+	Entry string
+	// Weight ranks the site: (1 + 2·LoopDepth) · max(1, 8−Dist). Loop depth
+	// multiplies per-op cost; proximity to an entry approximates how often
+	// the surrounding function runs per operation.
+	Weight int
+	// Message is the budget-stable diagnostic text (no positions, no
+	// weights — only kind, function and loop depth).
+	Message string
+}
+
+// allocWeight computes the ranking weight of a site.
+func allocWeight(loopDepth, dist int) int {
+	prox := 8 - dist
+	if prox < 1 {
+		prox = 1
+	}
+	return (1 + 2*loopDepth) * prox
+}
+
+// AnalyzeAllocs scans every non-test, non-main function reachable from the
+// entry points (nil means DefaultHotEntryPoints) and returns the classified
+// allocation sites ranked by weight (descending), position-tiebroken. The
+// result is deterministic for a given module.
+func AnalyzeAllocs(g *CallGraph, entries []EntryPoint) []AllocSite {
+	if entries == nil {
+		entries = DefaultHotEntryPoints
+	}
+	roots := entryNodes(g, entries)
+	visited, parent := reachableFrom(roots)
+	ids := make([]string, 0, len(visited))
+	for id := range visited {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var sites []AllocSite
+	for _, id := range ids {
+		n := visited[id]
+		if n.Test || n.Main || n.Decl == nil || n.Decl.Body == nil {
+			continue
+		}
+		dist := distOf(n, parent)
+		entry := rootOf(n, parent).String()
+		for _, raw := range classifyAllocs(n) {
+			sites = append(sites, AllocSite{
+				Pos:       n.Pkg.Fset.Position(raw.pos),
+				pos:       raw.pos,
+				Kind:      raw.kind,
+				Func:      n.String(),
+				LoopDepth: raw.depth,
+				Dist:      dist,
+				Entry:     entry,
+				Weight:    allocWeight(raw.depth, dist),
+				Message:   allocMessage(raw, n.String()),
+			})
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		a, b := sites[i], sites[j]
+		if a.Weight != b.Weight {
+			return a.Weight > b.Weight
+		}
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Kind < b.Kind
+	})
+	return sites
+}
+
+// allocMessage renders the budget-stable diagnostic text of a site. It must
+// not contain positions, distances or weights: the budget matches on
+// (file, analyzer, message) multisets and has to survive unrelated edits and
+// call-graph refactors that shift lines or BFS distances.
+func allocMessage(raw rawAllocSite, fn string) string {
+	return fmt.Sprintf("%s in hot-path function %s (loop depth %d); hoist it, reuse a buffer, or record it in the alloc budget",
+		raw.desc, fn, raw.depth)
+}
+
+// distOf counts the BFS hops from the entry that reached n.
+func distOf(n *Node, parent map[string]*Node) int {
+	d := 0
+	for hop := n; parent[hop.ID] != nil; hop = parent[hop.ID] {
+		d++
+	}
+	return d
+}
+
+// rawAllocSite is one classified site before graph context is attached.
+type rawAllocSite struct {
+	pos   token.Pos
+	kind  AllocKind
+	desc  string
+	depth int
+}
+
+// classifyAllocs walks one function body and returns its allocation-shaped
+// expressions in source order.
+func classifyAllocs(n *Node) []rawAllocSite {
+	info := n.Pkg.Info
+	body := n.Decl.Body
+	w := &allocWalker{
+		info:      info,
+		declPos:   n.Decl.Pos(),
+		declEnd:   n.Decl.End(),
+		loopSpans: collectLoopSpans(body),
+		errSpans:  collectErrorSpans(info, body),
+		prealloc:  collectPreallocEvidence(info, body),
+	}
+	// Parent tracking: ast.Inspect signals post-order with nil.
+	var stack []ast.Node
+	ast.Inspect(body, func(nd ast.Node) bool {
+		if nd == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		w.visit(nd, stack)
+		stack = append(stack, nd)
+		return true
+	})
+	sort.Slice(w.sites, func(i, j int) bool { return w.sites[i].pos < w.sites[j].pos })
+	return w.sites
+}
+
+// span is a half-open source interval.
+type span struct{ lo, hi token.Pos }
+
+func (s span) contains(p token.Pos) bool { return s.lo <= p && p < s.hi }
+
+// allocWalker carries one function's classification state.
+type allocWalker struct {
+	info             *types.Info
+	declPos, declEnd token.Pos
+	loopSpans        []span
+	errSpans         []span
+	prealloc         map[types.Object]bool
+	sites            []rawAllocSite
+}
+
+// depthAt counts the loop bodies containing pos.
+func (w *allocWalker) depthAt(pos token.Pos) int {
+	d := 0
+	for _, s := range w.loopSpans {
+		if s.contains(pos) {
+			d++
+		}
+	}
+	return d
+}
+
+// inErrorPath reports whether pos sits inside error-handling code (an
+// err-guarded if block or the arguments of fmt.Errorf / errors.New).
+func (w *allocWalker) inErrorPath(pos token.Pos) bool {
+	for _, s := range w.errSpans {
+		if s.contains(pos) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *allocWalker) add(pos token.Pos, kind AllocKind, desc string) {
+	w.sites = append(w.sites, rawAllocSite{pos: pos, kind: kind, desc: desc, depth: w.depthAt(pos)})
+}
+
+// visit classifies one AST node. stack holds the ancestors (outermost first).
+func (w *allocWalker) visit(nd ast.Node, stack []ast.Node) {
+	switch nd := nd.(type) {
+	case *ast.CompositeLit:
+		// Only the outermost literal of a nested value allocates once; inner
+		// literals are stored into the outer one's memory.
+		if len(stack) > 0 {
+			switch stack[len(stack)-1].(type) {
+			case *ast.CompositeLit, *ast.KeyValueExpr, *ast.ArrayType:
+				return
+			}
+		}
+		w.add(nd.Pos(), AllocComposite, "composite literal allocation")
+	case *ast.CallExpr:
+		w.visitCall(nd)
+	case *ast.DeferStmt:
+		if w.depthAt(nd.Pos()) >= 1 {
+			w.add(nd.Pos(), AllocDeferLoop, "defer inside a loop")
+		}
+	case *ast.FuncLit:
+		if w.captures(nd) {
+			w.add(nd.Pos(), AllocClosure, "closure capturing locals")
+		}
+	}
+}
+
+// visitCall classifies call expressions: builtin allocators, conversions,
+// formatting helpers and interface boxing.
+func (w *allocWalker) visitCall(call *ast.CallExpr) {
+	// Conversions: T(x) where the call position is a type.
+	if tv, ok := w.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && isStringBytesConv(tv.Type, w.info.TypeOf(call.Args[0])) {
+			w.add(call.Pos(), AllocConv, "string/[]byte conversion allocation")
+		}
+		return
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch w.info.Uses[fun] {
+		case types.Universe.Lookup("make"):
+			w.add(call.Pos(), AllocMake, "make allocation")
+			return
+		case types.Universe.Lookup("new"):
+			w.add(call.Pos(), AllocNew, "new allocation")
+			return
+		case types.Universe.Lookup("append"):
+			w.visitAppend(call)
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := w.info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			path, name := fn.Pkg().Path(), fn.Name()
+			isFormat := path == "fmt" && (name == "Sprintf" || name == "Sprint" || name == "Sprintln") ||
+				path == "strings" && name == "Join"
+			if isFormat && !w.inErrorPath(call.Pos()) {
+				w.add(call.Pos(), AllocFormat, path+"."+name+" in a non-error path")
+				return
+			}
+		}
+	}
+	w.visitBoxing(call)
+}
+
+// visitAppend flags appends without preallocation evidence: the base slice's
+// root identifier was never assigned a sized make or a reslice (buf[:0]-style
+// reuse) in this function. Non-identifier bases (indexed or field slices)
+// carry no evidence by construction.
+func (w *allocWalker) visitAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+		if obj := w.info.ObjectOf(id); obj != nil && w.prealloc[obj] {
+			return
+		}
+	}
+	w.add(call.Pos(), AllocAppend, "append without preallocation evidence")
+}
+
+// visitBoxing flags concrete non-pointer values passed to interface
+// parameters inside loops. Depth-0 boxing is deliberately not reported: its
+// cost is dominated by whatever the called function does.
+func (w *allocWalker) visitBoxing(call *ast.CallExpr) {
+	if w.depthAt(call.Pos()) < 1 {
+		return
+	}
+	sig, ok := w.info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis != token.NoPos {
+				continue // a ...slice pass-through does not box per element
+			}
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := w.info.Types[arg]
+		if !ok || tv.Value != nil || tv.Type == nil {
+			continue // constants and untyped values intern or fold
+		}
+		at := tv.Type
+		if types.IsInterface(at) || at == types.Typ[types.UntypedNil] {
+			continue
+		}
+		if _, isPtr := at.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if b, isBasic := at.Underlying().(*types.Basic); isBasic && b.Info()&types.IsUntyped != 0 {
+			continue
+		}
+		w.add(arg.Pos(), AllocBox, "interface boxing of a concrete value in a loop")
+	}
+}
+
+// captures reports whether the literal references a variable declared in the
+// enclosing function but outside the literal itself.
+func (w *allocWalker) captures(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(nd ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := nd.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := w.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		p := v.Pos()
+		if p >= w.declPos && p < w.declEnd && !(p >= lit.Pos() && p < lit.End()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// collectLoopSpans gathers the body spans of every for/range statement.
+func collectLoopSpans(body *ast.BlockStmt) []span {
+	var spans []span
+	ast.Inspect(body, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.ForStmt:
+			spans = append(spans, span{nd.Body.Pos(), nd.Body.End()})
+		case *ast.RangeStmt:
+			spans = append(spans, span{nd.Body.Pos(), nd.Body.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+// collectErrorSpans gathers the error-path regions: if statements whose
+// condition reads an error-typed variable, and the argument lists of
+// fmt.Errorf / errors.New calls.
+func collectErrorSpans(info *types.Info, body *ast.BlockStmt) []span {
+	errType := types.Universe.Lookup("error").Type()
+	var spans []span
+	ast.Inspect(body, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.IfStmt:
+			condErr := false
+			ast.Inspect(nd.Cond, func(c ast.Node) bool {
+				if id, ok := c.(*ast.Ident); ok {
+					if t := info.TypeOf(id); t != nil && types.Identical(t, errType) {
+						condErr = true
+					}
+				}
+				return !condErr
+			})
+			if condErr {
+				spans = append(spans, span{nd.Pos(), nd.End()})
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(nd.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+					p, name := fn.Pkg().Path(), fn.Name()
+					if p == "fmt" && name == "Errorf" || p == "errors" && name == "New" {
+						spans = append(spans, span{nd.Lparen, nd.End()})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return spans
+}
+
+// collectPreallocEvidence returns the slice variables that show
+// preallocation evidence somewhere in the function: assigned a make with an
+// explicit size or capacity, or assigned a slice expression (the buf[:0]
+// reuse idiom and subslice views).
+func collectPreallocEvidence(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	evidence := map[types.Object]bool{}
+	record := func(lhs, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.CallExpr:
+			if fn, ok := ast.Unparen(r.Fun).(*ast.Ident); ok &&
+				info.Uses[fn] == types.Universe.Lookup("make") && len(r.Args) >= 2 {
+				evidence[obj] = true
+			}
+		case *ast.SliceExpr:
+			evidence[obj] = true
+		}
+	}
+	ast.Inspect(body, func(nd ast.Node) bool {
+		if as, ok := nd.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+			for i := range as.Lhs {
+				record(as.Lhs[i], as.Rhs[i])
+			}
+		}
+		return true
+	})
+	return evidence
+}
+
+// isStringBytesConv reports a string <-> []byte/[]rune conversion in either
+// direction.
+func isStringBytesConv(to, from types.Type) bool {
+	if from == nil {
+		return false
+	}
+	return isStringType(to) && isByteOrRuneSlice(from) ||
+		isByteOrRuneSlice(to) && isStringType(from)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// DeriveHotEntryPoints computes the hot-path roots from DefaultEntryPoints
+// and HotPackages: every result entry point that (transitively) reaches a
+// hot package, plus a package-wide "*" entry for each hot package the result
+// roots reach (the phase internals are exported within the module and
+// callable directly). DefaultHotEntryPoints materializes this derivation and
+// TestAllocLintHotEntryPointsMatchDerivation keeps the two in sync, so the
+// list cannot drift by hand-editing.
+func DeriveHotEntryPoints(g *CallGraph) []EntryPoint {
+	hotSet := map[string]bool{}
+	for _, p := range HotPackages {
+		hotSet[p] = true
+	}
+	relPkg := func(path string) string { return strings.TrimPrefix(path, g.Module+"/") }
+
+	reachedHot := map[string]bool{}
+	visited, _ := reachableFrom(entryNodes(g, DefaultEntryPoints))
+	for _, n := range visited {
+		if rel := relPkg(n.PkgPath); hotSet[rel] {
+			reachedHot[rel] = true
+		}
+	}
+
+	var out []EntryPoint
+	for _, ep := range DefaultEntryPoints {
+		if hotSet[ep.Pkg] {
+			continue // subsumed by the package-wide entry below
+		}
+		epVisited, _ := reachableFrom(entryNodes(g, []EntryPoint{ep}))
+		reaches := false
+		for _, n := range epVisited {
+			if hotSet[relPkg(n.PkgPath)] {
+				reaches = true
+				break
+			}
+		}
+		if reaches {
+			out = append(out, ep)
+		}
+	}
+	for _, p := range HotPackages {
+		if reachedHot[p] {
+			out = append(out, EntryPoint{Pkg: p, Name: "*"})
+		}
+	}
+	return out
+}
+
+// DefaultHotEntryPoints is the materialized output of DeriveHotEntryPoints
+// over the module: the result entry points that reach the hot packages, plus
+// the hot packages' own exported surface (phase internals). Drift against
+// the derivation fails TestAllocLintHotEntryPointsMatchDerivation.
+var DefaultHotEntryPoints = []EntryPoint{
+	{Pkg: "", Name: "Discover"},
+	{Pkg: "", Name: "DiscoverBasic"},
+	{Pkg: "", Name: "DiscoverAll"},
+	{Pkg: "", Name: "DiscoverAllStats"},
+	{Pkg: "", Name: "GenerateRules"},
+	{Pkg: "", Name: "NewSession"},
+	{Pkg: "", Name: "Profile"},
+	// RankBySeparability is deliberately absent: it never reaches a hot
+	// package (it ranks rules over precomputed per-rule results).
+	{Pkg: "internal/rulegen", Name: "*"},
+	{Pkg: "internal/difftest", Name: "*"},
+	{Pkg: "internal/core", Name: "*"},
+	{Pkg: "internal/partition", Name: "*"},
+	{Pkg: "internal/sim", Name: "*"},
+	{Pkg: "internal/signature", Name: "*"},
+}
+
+// AllocLint is the alloclint analyzer: hot-path allocation sites as budgeted
+// diagnostics. Sites are classified by AnalyzeAllocs; the diagnostics carry
+// only the classification, containing function and loop depth, so the
+// alloc.budget.json multiset stays valid across unrelated line shifts.
+type AllocLint struct {
+	// Entries holds the hot-path roots; nil means DefaultHotEntryPoints.
+	Entries []EntryPoint
+}
+
+// Name implements Analyzer.
+func (AllocLint) Name() string { return "alloclint" }
+
+// Doc implements Analyzer.
+func (AllocLint) Doc() string {
+	return "allocation-shaped expression (composite/make/new/append/conversion/boxing/closure/defer-in-loop) in a function reachable from the hot entry points; gate against alloc.budget.json"
+}
+
+// Run implements Analyzer; alloclint is interprocedural, see RunModule.
+func (AllocLint) Run(*Pass) {}
+
+// RunModule implements ModuleAnalyzer.
+func (a AllocLint) RunModule(mp *ModulePass) {
+	for _, site := range AnalyzeAllocs(mp.Graph, a.Entries) {
+		mp.Reportf(site.pos, "%s", site.Message)
+	}
+}

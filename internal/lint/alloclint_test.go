@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// allocFixtureFiles is a module whose hot path (Discover → scan/emit)
+// exercises every alloclint classification, with a cold function and a
+// test-only function that must stay unreported.
+var allocFixtureFiles = map[string]string{
+	"go.mod": "module allocfix\n\ngo 1.22\n",
+	"hot.go": `package allocfix
+
+import (
+	"fmt"
+	"strings"
+)
+
+type item struct{ name string }
+
+// Discover is the hot entry point.
+func Discover(labels []string) []string {
+	out := scan(labels)
+	emit(out)
+	return out
+}
+
+func scan(labels []string) []string {
+	var out []string // no preallocation evidence
+	seen := make(map[string]bool, len(labels)) // make: sized, still a site
+	for _, l := range labels {
+		if seen[l] {
+			continue
+		}
+		seen[l] = true
+		b := []byte(l)        // conv in a loop
+		out = append(out, string(b)) // append without evidence + conv
+	}
+	return out
+}
+
+func emit(out []string) {
+	buf := make([]string, 0, len(out))
+	for _, l := range out {
+		buf = append(buf, fmt.Sprintf("%d", len(l))) // format + boxing in loop
+		defer fmt.Println(l)                         // defer in loop
+	}
+	it := &item{name: strings.Join(buf, ",")} // composite + format at depth 0
+	use(func() string { return it.name })     // closure capturing a local
+	p := new(item)                            // new
+	_ = p
+}
+
+func use(f func() string) { _ = f() }
+
+// cold is unreachable from Discover: none of its sites may be reported.
+func cold() []int {
+	xs := []int{1, 2, 3}
+	return append(xs, 4)
+}
+`,
+	"hot_test.go": `package allocfix
+
+import "testing"
+
+func TestDiscover(t *testing.T) {
+	got := Discover([]string{"a", "b"})
+	if len(got) != 2 {
+		t.Fatal(got)
+	}
+	_ = cold()
+}
+`,
+}
+
+// TestAnalyzeAllocsClassifications checks every classification fires on the
+// fixture hot path and that cold and test code stay silent.
+func TestAnalyzeAllocsClassifications(t *testing.T) {
+	pkgs := loadFixtureModule(t, allocFixtureFiles)
+	g := BuildCallGraph(pkgs)
+	sites := AnalyzeAllocs(g, rootEntry)
+
+	byKind := map[AllocKind][]AllocSite{}
+	for _, s := range sites {
+		byKind[s.Kind] = append(byKind[s.Kind], s)
+		if strings.Contains(s.Func, "cold") {
+			t.Errorf("cold function reported: %+v", s)
+		}
+		if strings.HasSuffix(s.Pos.Filename, "_test.go") {
+			t.Errorf("test file reported: %+v", s)
+		}
+	}
+	for _, kind := range []AllocKind{
+		AllocComposite, AllocMake, AllocNew, AllocAppend, AllocConv,
+		AllocFormat, AllocBox, AllocClosure, AllocDeferLoop,
+	} {
+		if len(byKind[kind]) == 0 {
+			t.Errorf("no %s site found; all sites: %+v", kind, sites)
+		}
+	}
+
+	// Loop-depth and weight spot checks: the in-loop conversion ranks above
+	// the depth-0 composite literal in the same reachability ring.
+	for _, s := range byKind[AllocConv] {
+		if s.LoopDepth != 1 {
+			t.Errorf("conv site at loop depth %d, want 1: %+v", s.LoopDepth, s)
+		}
+	}
+	for _, s := range byKind[AllocComposite] {
+		if s.LoopDepth != 0 {
+			t.Errorf("composite site at loop depth %d, want 0: %+v", s.LoopDepth, s)
+		}
+	}
+	if len(byKind[AllocConv]) > 0 && len(byKind[AllocComposite]) > 0 {
+		if byKind[AllocConv][0].Weight <= byKind[AllocComposite][0].Weight {
+			t.Errorf("in-loop conv weight %d not above depth-0 composite weight %d",
+				byKind[AllocConv][0].Weight, byKind[AllocComposite][0].Weight)
+		}
+	}
+
+	// Ranking is weight-descending and deterministic.
+	for i := 1; i < len(sites); i++ {
+		if sites[i].Weight > sites[i-1].Weight {
+			t.Errorf("sites not weight-sorted at %d: %d after %d", i, sites[i].Weight, sites[i-1].Weight)
+		}
+	}
+
+	// Messages are budget-stable: function + loop depth, no line numbers.
+	for _, s := range sites {
+		if !strings.Contains(s.Message, "loop depth") || !strings.Contains(s.Message, s.Func) {
+			t.Errorf("message missing function/loop depth: %q", s.Message)
+		}
+	}
+}
+
+// TestAnalyzeAllocsPreallocEvidence checks that sized-make and reslice
+// evidence suppresses the append classification.
+func TestAnalyzeAllocsPreallocEvidence(t *testing.T) {
+	pkgs := loadFixtureModule(t, map[string]string{
+		"go.mod": "module allocfix\n\ngo 1.22\n",
+		"lib.go": `package allocfix
+
+func Discover(xs []int) []int {
+	buf := make([]int, 0, len(xs))
+	for _, x := range xs {
+		buf = append(buf, x) // evidence: sized make
+	}
+	buf = buf[:0]
+	for _, x := range xs {
+		buf = append(buf, x*2) // evidence: reslice reuse
+	}
+	var bad []int
+	for _, x := range xs {
+		bad = append(bad, x) // no evidence
+	}
+	return append(buf, bad...)
+}
+`,
+	})
+	sites := AnalyzeAllocs(BuildCallGraph(pkgs), rootEntry)
+	var appends []AllocSite
+	for _, s := range sites {
+		if s.Kind == AllocAppend {
+			appends = append(appends, s)
+		}
+	}
+	if len(appends) != 1 {
+		t.Fatalf("want 1 append site (only bad lacks evidence), got %d: %+v", len(appends), appends)
+	}
+	if appends[0].LoopDepth != 1 {
+		t.Errorf("append site at loop depth %d, want the bad append at depth 1", appends[0].LoopDepth)
+	}
+}
+
+// TestAnalyzeAllocsErrorPathFormat checks that formatting calls inside error
+// handling are not reported.
+func TestAnalyzeAllocsErrorPathFormat(t *testing.T) {
+	pkgs := loadFixtureModule(t, map[string]string{
+		"go.mod": "module allocfix\n\ngo 1.22\n",
+		"lib.go": `package allocfix
+
+import (
+	"fmt"
+	"strconv"
+)
+
+func Discover(s string) (string, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return "", fmt.Errorf("bad input %s: %w", fmt.Sprintf("%q", s), err)
+	}
+	return fmt.Sprintf("%d", n), nil
+}
+`,
+	})
+	sites := AnalyzeAllocs(BuildCallGraph(pkgs), rootEntry)
+	var formats []AllocSite
+	for _, s := range sites {
+		if s.Kind == AllocFormat {
+			formats = append(formats, s)
+		}
+	}
+	if len(formats) != 1 {
+		t.Fatalf("want 1 non-error-path format site, got %d: %+v", len(formats), formats)
+	}
+	if formats[0].Pos.Line != 13 {
+		t.Errorf("format site at line %d, want the success-path Sprintf on line 13", formats[0].Pos.Line)
+	}
+}
+
+// TestAllocLintBudgetable runs the analyzer through lint.Run and checks the
+// diagnostics round-trip through a baseline (the alloc.budget.json format).
+func TestAllocLintBudgetable(t *testing.T) {
+	pkgs := loadFixtureModule(t, allocFixtureFiles)
+	diags := Run(pkgs, []Analyzer{AllocLint{Entries: rootEntry}})
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics from AllocLint over the alloc fixture")
+	}
+	dir := t.TempDir()
+	b := NewBaseline(diags, dir)
+	path := dir + "/alloc.budget.json"
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, stale := rb.Apply(diags, dir)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("budget round-trip: %d fresh, %d stale, want 0/0", len(fresh), len(stale))
+	}
+}
+
+// TestAllocLintHotEntryPointsMatchDerivation keeps DefaultHotEntryPoints in
+// sync with DeriveHotEntryPoints over the real module, mirroring the
+// resultpkgs drift test.
+func TestAllocLintHotEntryPointsMatchDerivation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(cwd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DeriveHotEntryPoints(BuildCallGraph(pkgs))
+	if len(got) != len(DefaultHotEntryPoints) {
+		t.Fatalf("derived %d entry points, DefaultHotEntryPoints lists %d:\nderived: %v\nlisted:  %v",
+			len(got), len(DefaultHotEntryPoints), got, DefaultHotEntryPoints)
+	}
+	for i := range got {
+		if got[i] != DefaultHotEntryPoints[i] {
+			t.Errorf("entry %d: derived %+v, listed %+v", i, got[i], DefaultHotEntryPoints[i])
+		}
+	}
+}

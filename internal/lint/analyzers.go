@@ -13,5 +13,6 @@ func All() []Analyzer {
 		DeterSafe{},
 		PanicProp{},
 		ResultPkgs{},
+		AllocLint{},
 	}
 }

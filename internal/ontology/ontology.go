@@ -29,6 +29,9 @@ type Node struct {
 	// ancestors[d-1] is the ancestor at depth d (ancestors[Depth-1] == the
 	// node itself), enabling O(1) τ-ancestor lookup.
 	ancestors []*Node
+	// pathStr caches String()'s root-to-node path; node signatures render it
+	// on every probe, so it is computed once at registration.
+	pathStr string
 }
 
 // Parent returns the node's parent (nil for the root).
@@ -56,7 +59,14 @@ func (n *Node) Path() []string {
 }
 
 // String renders the node as its root-to-node path.
-func (n *Node) String() string { return strings.Join(n.Path(), "/") }
+func (n *Node) String() string {
+	if n.pathStr != "" {
+		return n.pathStr
+	}
+	// Nodes built outside a Tree (zero values in tests) fall back to the
+	// uncached join.
+	return strings.Join(n.Path(), "/")
+}
 
 // Tree is an ontology tree with label-based node lookup. Labels are
 // normalized (lower-cased, space-collapsed) for lookup; the first node
@@ -118,6 +128,11 @@ outer:
 }
 
 func (t *Tree) register(n *Node) {
+	if n.parent != nil && n.parent.pathStr != "" {
+		n.pathStr = n.parent.pathStr + "/" + n.Label
+	} else {
+		n.pathStr = strings.Join(n.Path(), "/")
+	}
 	t.nodes = append(t.nodes, n)
 	key := Normalize(n.Label)
 	if _, exists := t.byName[key]; !exists {
@@ -128,7 +143,76 @@ func (t *Tree) register(n *Node) {
 // Normalize lower-cases a label and collapses internal whitespace, the
 // canonical form used for node lookup.
 func Normalize(label string) string {
+	if normalized(label) {
+		return label // common case: already canonical, no allocation
+	}
+	if asciiOnly(label) {
+		return normalizeASCII(label)
+	}
 	return strings.Join(strings.Fields(strings.ToLower(label)), " ")
+}
+
+func asciiOnly(label string) bool {
+	for i := 0; i < len(label); i++ {
+		if label[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// normalizeASCII is the one-allocation slow path for ASCII labels: lower-case
+// in place, collapse whitespace runs to single interior spaces, trim the
+// ends. For ASCII input it agrees byte-for-byte with the Unicode-general
+// Fields/ToLower/Join path (unicode.IsSpace and unicode.ToLower restrict to
+// the same ASCII sets).
+func normalizeASCII(label string) string {
+	var b strings.Builder
+	b.Grow(len(label))
+	pendingSpace := false
+	for i := 0; i < len(label); i++ {
+		c := label[i]
+		switch c {
+		case ' ', '\t', '\n', '\v', '\f', '\r':
+			pendingSpace = b.Len() > 0
+		default:
+			if pendingSpace {
+				b.WriteByte(' ')
+				pendingSpace = false
+			}
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// normalized reports whether a label is already in canonical form: no
+// upper-case letters and every whitespace run is exactly one interior ASCII
+// space. The scan is byte-wise for ASCII and falls back to the slow path on
+// any non-ASCII byte, so the fast path never disagrees with the full
+// normalization.
+func normalized(label string) bool {
+	prevSpace := true // a leading space must trim
+	for i := 0; i < len(label); i++ {
+		c := label[i]
+		switch {
+		case c >= 0x80 || c >= 'A' && c <= 'Z':
+			return false
+		case c == ' ':
+			if prevSpace {
+				return false // leading or doubled space
+			}
+			prevSpace = true
+		case c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r':
+			return false
+		default:
+			prevSpace = false
+		}
+	}
+	return !prevSpace || label == ""
 }
 
 // Lookup maps an attribute value to its tree node, or nil when the value has

@@ -156,16 +156,25 @@ func (c *Config) NewRecord(e *entity.Entity) (*Record, error) {
 	if err := c.compile(); err != nil {
 		return nil, err
 	}
-	if len(e.Values) != c.attrCount {
-		return nil, fmt.Errorf("rules: entity %q has %d attributes, schema has %d",
-			e.ID, len(e.Values), c.attrCount)
-	}
 	r := &Record{
 		Entity: e,
 		Index:  -1,
 		Tokens: make([][]string, c.attrCount),
 		Joined: make([]string, c.attrCount),
 		Nodes:  make([]*ontology.Node, c.attrCount),
+	}
+	if err := c.fillRecord(r, e); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// fillRecord compiles e into r, whose Tokens/Joined/Nodes slices are already
+// sized to the schema's attribute count.
+func (c *Config) fillRecord(r *Record, e *entity.Entity) error {
+	if len(e.Values) != c.attrCount {
+		return fmt.Errorf("rules: entity %q has %d attributes, schema has %d",
+			e.ID, len(e.Values), c.attrCount)
 	}
 	for i, values := range e.Values {
 		r.Joined[i] = e.Joined(i)
@@ -187,21 +196,37 @@ func (c *Config) NewRecord(e *entity.Entity) (*Record, error) {
 			}
 		}
 	}
-	return r, nil
+	return nil
 }
 
-// NewRecords compiles a whole group, setting Index on every record.
+// NewRecords compiles a whole group, setting Index on every record. The
+// record structs and their per-attribute slice headers come from three
+// group-wide arenas, so compiling n records costs O(1) container allocations
+// instead of O(n·attrs).
 func (c *Config) NewRecords(g *entity.Group) ([]*Record, error) {
 	if !c.Schema.Equal(g.Schema) {
 		return nil, fmt.Errorf("rules: group %q schema does not match config schema", g.Name)
 	}
-	recs := make([]*Record, len(g.Entities))
+	if err := c.compile(); err != nil {
+		return nil, err
+	}
+	n := len(g.Entities)
+	na := c.attrCount
+	recs := make([]*Record, n)
+	backing := make([]Record, n)
+	tokens := make([][]string, n*na)
+	joined := make([]string, n*na)
+	nodes := make([]*ontology.Node, n*na)
 	for i, e := range g.Entities {
-		r, err := c.NewRecord(e)
-		if err != nil {
+		r := &backing[i]
+		r.Entity = e
+		r.Index = i
+		r.Tokens = tokens[i*na : (i+1)*na : (i+1)*na]
+		r.Joined = joined[i*na : (i+1)*na : (i+1)*na]
+		r.Nodes = nodes[i*na : (i+1)*na : (i+1)*na]
+		if err := c.fillRecord(r, e); err != nil {
 			return nil, err
 		}
-		r.Index = i
 		recs[i] = r
 	}
 	return recs, nil

@@ -53,13 +53,22 @@ func (c *Context) Accepts(rec *rules.Record, rs rules.RuleSet) bool {
 }
 
 // Append registers a new record with the context so signature generation can
-// use its cached grams. The caller must have verified Accepts first.
+// use its cached grams, sorted-token lists and per-predicate signature sets.
+// The caller must have verified Accepts first.
 func (c *Context) Append(rec *rules.Record) {
 	for key := range c.gramCache {
 		c.gramCache[key] = append(c.gramCache[key],
 			appendGrams(rec, key))
 	}
+	for attr, s := range c.sortedTok {
+		c.sortedTok[attr] = append(s, c.tokenOrd[attr].Sorted(rec.Tokens[attr]))
+	}
 	c.records = append(c.records, rec)
+	// Extend each cached predicate's signature list; entries are independent,
+	// so the map's iteration order cannot influence results.
+	for p, sets := range c.sigCache {
+		c.sigCache[p] = append(sets, c.computeSignatures(p, rec))
+	}
 }
 
 func appendGrams(rec *rules.Record, key gramKey) []string {

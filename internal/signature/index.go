@@ -72,10 +72,18 @@ func BuildPositive(ctx *Context, rule rules.Rule, recs []*rules.Record) *PosInde
 			sigs:   make([][]int32, len(recs)),
 			isWild: make([]bool, len(recs)),
 		}
+		// All per-record id sets share one arena sized by the total signature
+		// count (an upper bound: wildcards are skipped), so the build costs
+		// one allocation here instead of one per record.
+		total := 0
+		for _, r := range recs {
+			total += len(ctx.Signatures(p, r))
+		}
+		backing := make([]int32, 0, total)
 		for ri, r := range recs {
 			sigs := ctx.Signatures(p, r)
 			ix.sigCounts[ri] += len(sigs)
-			kept := make([]int32, 0, len(sigs))
+			start := len(backing)
 			for _, s := range sigs {
 				if s == Universal {
 					pd.isWild[ri] = true
@@ -87,9 +95,10 @@ func BuildPositive(ctx *Context, rule rules.Rule, recs []*rules.Record) *PosInde
 					pd.ids[s] = id
 					pd.lists = append(pd.lists, nil)
 				}
-				kept = append(kept, id)
+				backing = append(backing, id)
 				pd.lists[id] = append(pd.lists[id], ri)
 			}
+			kept := backing[start:len(backing):len(backing)]
 			slices.Sort(kept)
 			pd.sigs[ri] = kept
 			if pd.isWild[ri] {
@@ -326,12 +335,58 @@ type ProbeResult struct {
 // wildcards interfere), the pair provably satisfies the rule and its pivot
 // position is returned in Certain. Otherwise Shared carries the per-pivot
 // shared counts used to order verification.
+//
+// Probe allocates its result map on every call; hot loops that probe many
+// records against the same pivot should hold a ProbeScratch and call
+// ProbeInto instead.
 func (nf *NegFilter) Probe(r *rules.Record) ProbeResult {
-	res := ProbeResult{Certain: -1, Shared: make(map[int]int)}
+	var sc ProbeScratch
+	res := ProbeResult{Certain: nf.ProbeInto(r, &sc), Shared: make(map[int]int, sc.nonzero)}
+	for pi, c := range sc.shared {
+		if c != 0 {
+			res.Shared[pi] = int(c)
+		}
+	}
+	return res
+}
+
+// ProbeScratch holds the per-probe working buffers of ProbeInto so repeated
+// probes against the same (or smaller) pivot allocate nothing. The zero value
+// is ready to use; a scratch must not be shared between goroutines.
+type ProbeScratch struct {
+	matched []bool
+	shared  []int32
+	nonzero int
+}
+
+// SharedCount returns the shared-signature count of pivot position pi from
+// the most recent ProbeInto (ProbeResult.Shared[pi], with 0 for absent keys).
+func (sc *ProbeScratch) SharedCount(pi int) int { return int(sc.shared[pi]) }
+
+// NonzeroShared returns the number of pivot positions with a nonzero shared
+// count in the most recent ProbeInto — exactly len(ProbeResult.Shared) of the
+// allocating Probe.
+func (sc *ProbeScratch) NonzeroShared() int { return sc.nonzero }
+
+// ProbeInto is Probe with caller-owned buffers: it returns the Certain pivot
+// position (or -1) and leaves the per-pivot shared counts readable through
+// sc. Results are identical to Probe's for the same inputs.
+func (nf *NegFilter) ProbeInto(r *rules.Record, sc *ProbeScratch) int {
+	n := len(nf.pivot)
+	if cap(sc.matched) < n {
+		sc.matched = make([]bool, n)
+		sc.shared = make([]int32, n)
+	}
+	sc.matched = sc.matched[:n]
+	sc.shared = sc.shared[:n]
+	for i := range sc.matched {
+		sc.matched[i] = false
+		sc.shared[i] = 0
+	}
+	sc.nonzero = 0
 	// matched[ri] = true when the pair (r, pivot[ri]) shares a signature (or
 	// hits a wildcard) on at least one predicate and thus cannot be proven
 	// dissimilar by the filter.
-	matched := make([]bool, len(nf.pivot))
 	selfWildAll := false
 	for pi, p := range nf.Rule.Predicates {
 		pd := &nf.perPred[pi]
@@ -343,27 +398,29 @@ func (nf *NegFilter) Probe(r *rules.Record) ProbeResult {
 				continue
 			}
 			for _, ri := range pd.lists[s] {
-				matched[ri] = true
-				res.Shared[ri]++
+				sc.matched[ri] = true
+				if sc.shared[ri] == 0 {
+					sc.nonzero++
+				}
+				sc.shared[ri]++
 			}
 		}
 		if selfWild {
 			selfWildAll = true
 		}
 		for _, ri := range pd.wildcards {
-			matched[ri] = true
+			sc.matched[ri] = true
 		}
 	}
 	if selfWildAll {
-		for ri := range matched {
-			matched[ri] = true
+		for ri := range sc.matched {
+			sc.matched[ri] = true
 		}
 	}
-	for ri, m := range matched {
+	for ri, m := range sc.matched {
 		if !m {
-			res.Certain = ri
-			return res
+			return ri
 		}
 	}
-	return res
+	return -1
 }

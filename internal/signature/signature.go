@@ -52,8 +52,24 @@ type Context struct {
 	tauMin    map[tauKey]int
 	minDepth  map[int]int            // per attribute: shallowest mapped node
 	gramCache map[gramKey][][]string // per attribute+q: grams per record index
-	records   []*rules.Record
+	// sortedTok caches, per attribute, every record's token list sorted by
+	// the global ordering; the prefix signatures of all set predicates on
+	// that attribute are subslices of it, so a rule set with several
+	// thresholds over one attribute sorts (and allocates) once per record.
+	sortedTok map[int][][]string
+	// sigCache holds, per rule-set predicate, every record's signature set.
+	// NewContext fills it eagerly so that DIME+'s filter phases — index
+	// build, partition filtering, and the per-entity probes of the negative
+	// phase — are pure lookups instead of recomputing (and reallocating)
+	// signatures at every call. Entries are extended by Append.
+	sigCache map[rules.Predicate][][]string
+	records  []*rules.Record
 }
+
+// universalSigs is the shared one-element Universal signature set; callers
+// treat signature sets as read-only, so every trivially-satisfied predicate
+// can return the same backing array.
+var universalSigs = []string{Universal}
 
 type gramKey struct {
 	attr int
@@ -76,6 +92,8 @@ func NewContext(cfg *rules.Config, recs []*rules.Record, rs rules.RuleSet) *Cont
 		tauMin:    make(map[tauKey]int),
 		minDepth:  make(map[int]int),
 		gramCache: make(map[gramKey][][]string),
+		sortedTok: make(map[int][][]string),
+		sigCache:  make(map[rules.Predicate][][]string),
 		records:   recs,
 	}
 	nAttr := cfg.Schema.Len()
@@ -101,10 +119,13 @@ func NewContext(cfg *rules.Config, recs []*rules.Record, rs rules.RuleSet) *Cont
 }
 
 // prepare precomputes every lazily-built cache a predicate's signature
-// generation can touch, so that Signatures is a pure read afterwards (the
-// concurrent-read guarantee documented on Context).
+// generation can touch — and the predicate's per-record signature sets —
+// so that Signatures is a pure read afterwards (the concurrent-read
+// guarantee documented on Context).
 func (c *Context) prepare(p rules.Predicate) {
 	switch p.Fn {
+	case rules.Overlap, rules.Jaccard, rules.Dice, rules.Cosine:
+		c.sortedTokensFor(p.Attr)
 	case rules.EditSim, rules.EditDist:
 		c.gramsFor(p.Attr, qOf(p))
 	case rules.Ontology:
@@ -113,6 +134,27 @@ func (c *Context) prepare(p rules.Predicate) {
 		// here so concurrent probes never race to write the cache.
 		c.minDepthFor(p.Attr)
 	}
+	if _, ok := c.sigCache[p]; !ok {
+		sets := make([][]string, len(c.records))
+		for i, r := range c.records {
+			sets[i] = c.computeSignatures(p, r)
+		}
+		c.sigCache[p] = sets
+	}
+}
+
+// sortedTokensFor builds (once) the globally-ordered token lists of every
+// record on an attribute.
+func (c *Context) sortedTokensFor(attr int) [][]string {
+	if s, ok := c.sortedTok[attr]; ok {
+		return s
+	}
+	s := make([][]string, len(c.records))
+	for i, r := range c.records {
+		s[i] = c.tokenOrd[attr].Sorted(r.Tokens[attr])
+	}
+	c.sortedTok[attr] = s
+	return s
 }
 
 func qOf(p rules.Predicate) int {
@@ -190,7 +232,19 @@ func similarSide(p rules.Predicate) bool {
 // A nil result means the record can never be on the "sharing" side: for a
 // similar-side predicate it can never satisfy it; for a dissimilar-side
 // predicate it satisfies it against every partner.
+//
+// For predicates of the rule set the context was built with, the result is a
+// cached slice shared across calls; callers must treat it as read-only.
 func (c *Context) Signatures(p rules.Predicate, r *rules.Record) []string {
+	if sets, ok := c.sigCache[p]; ok && r.Index >= 0 && r.Index < len(sets) && c.records[r.Index] == r {
+		return sets[r.Index]
+	}
+	return c.computeSignatures(p, r)
+}
+
+// computeSignatures generates a record's signature set from scratch; the
+// sigCache fill and records outside the context go through it.
+func (c *Context) computeSignatures(p rules.Predicate, r *rules.Record) []string {
 	switch p.Fn {
 	case rules.Overlap, rules.Jaccard, rules.Dice, rules.Cosine:
 		return c.setSignatures(p, r)
@@ -210,16 +264,21 @@ func (c *Context) setSignatures(p rules.Predicate, r *rules.Record) []string {
 	tokens := r.Tokens[p.Attr]
 	theta := genThreshold(p)
 	if theta <= 0 {
-		return []string{Universal}
+		return universalSigs
 	}
 	n := len(tokens)
 	t := overlapBound(p.Fn, theta, n)
 	if t < 1 {
-		return []string{Universal}
+		return universalSigs
 	}
 	k := n - t + 1
 	if k <= 0 {
 		return nil
+	}
+	// Records of the context share one globally-sorted token list per
+	// attribute; every threshold's prefix is a subslice of it.
+	if s := c.sortedTok[p.Attr]; r.Index >= 0 && r.Index < len(s) && c.records[r.Index] == r {
+		return s[r.Index][:k]
 	}
 	sorted := c.tokenOrd[p.Attr].Sorted(tokens)
 	return sorted[:k]
@@ -269,7 +328,7 @@ func (c *Context) gramSignatures(p rules.Predicate, r *rules.Record) []string {
 		// The q-gram count guarantee is vacuous for strings this short
 		// (fewer than q·b+1 grams): emit the wildcard so the record pairs
 		// with everything instead of being pruned incorrectly.
-		return []string{Universal}
+		return universalSigs
 	}
 	ord.Sort(grams)
 	return grams[:k]
@@ -317,7 +376,7 @@ func (c *Context) ontologySignatures(p rules.Predicate, r *rules.Record) []strin
 	if similarSide(p) {
 		theta := p.Threshold
 		if theta <= 0 {
-			return []string{Universal}
+			return universalSigs
 		}
 		tmin := c.tauMinFor(p)
 		sig := ontology.NodeSignature(node, theta, tmin)
@@ -330,11 +389,11 @@ func (c *Context) ontologySignatures(p rules.Predicate, r *rules.Record) []strin
 	minDepth := c.minDepthFor(p.Attr)
 	d := 1 + int(math.Floor(sigma*float64(minDepth)+1e-9))
 	if node.Depth < d {
-		return []string{Universal}
+		return universalSigs
 	}
 	sig := node.AncestorAt(d)
 	if sig == nil {
-		return []string{Universal}
+		return universalSigs
 	}
 	return []string{sig.String()}
 }

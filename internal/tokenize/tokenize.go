@@ -8,6 +8,7 @@
 package tokenize
 
 import (
+	"slices"
 	"sort"
 	"strings"
 	"unicode"
@@ -15,25 +16,56 @@ import (
 
 // Words splits a value into lower-cased word tokens. Any run of letters or
 // digits is a token; everything else separates tokens. Duplicates are
-// preserved (callers that need sets use Set).
+// preserved (callers that need sets use Set). Tokens are substrings of one
+// lower-cased copy of the input, so the whole split costs O(1) allocations
+// beyond that copy instead of one per token.
 func Words(v string) []string {
-	var tokens []string
-	var b strings.Builder
-	flush := func() {
-		if b.Len() > 0 {
-			tokens = append(tokens, b.String())
-			b.Reset()
+	s := lower(v)
+	// First pass counts tokens so the result is allocated exactly once
+	// instead of growing through append doublings.
+	n := 0
+	inTok := false
+	for _, r := range s {
+		alnum := unicode.IsLetter(r) || unicode.IsDigit(r)
+		if alnum && !inTok {
+			n++
 		}
+		inTok = alnum
 	}
-	for _, r := range v {
+	if n == 0 {
+		return nil
+	}
+	tokens := make([]string, 0, n)
+	start := -1
+	for i, r := range s {
 		if unicode.IsLetter(r) || unicode.IsDigit(r) {
-			b.WriteRune(unicode.ToLower(r))
-		} else {
-			flush()
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			tokens = append(tokens, s[start:i])
+			start = -1
 		}
 	}
-	flush()
+	if start >= 0 {
+		tokens = append(tokens, s[start:])
+	}
 	return tokens
+}
+
+// lower is strings.ToLower with a zero-allocation fast path for inputs that
+// contain no upper-case ASCII and no non-ASCII bytes (the overwhelmingly
+// common case for attribute values).
+func lower(v string) string {
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if c >= 0x80 || c >= 'A' && c <= 'Z' {
+			return strings.ToLower(v)
+		}
+	}
+	return v
 }
 
 // Set returns the distinct tokens of Words(v), order-preserving on first
@@ -42,11 +74,51 @@ func Set(v string) []string {
 	return Dedup(Words(v))
 }
 
-// Dedup removes duplicate tokens, keeping first occurrences in order.
+// Dedup removes duplicate tokens, keeping first occurrences in order. Small
+// inputs are deduplicated by linear scan and duplicate-free inputs are
+// returned as-is, so the common case allocates nothing; only inputs that
+// actually shrink allocate a fresh slice (the input is never mutated).
 func Dedup(tokens []string) []string {
+	if len(tokens) <= 32 {
+		for i, t := range tokens {
+			if indexOf(tokens[:i], t) >= 0 {
+				return dedupFrom(tokens, i)
+			}
+		}
+		return tokens
+	}
 	seen := make(map[string]struct{}, len(tokens))
-	out := tokens[:0:0]
-	for _, t := range tokens {
+	for i, t := range tokens {
+		if _, ok := seen[t]; ok {
+			return dedupSlow(tokens, i)
+		}
+		seen[t] = struct{}{}
+	}
+	return tokens
+}
+
+// dedupFrom copies tokens into a fresh slice, skipping duplicates; dup is the
+// index of the first duplicate (everything before it is unique).
+func dedupFrom(tokens []string, dup int) []string {
+	out := make([]string, dup, len(tokens)-1)
+	copy(out, tokens[:dup])
+	for _, t := range tokens[dup+1:] {
+		if indexOf(out, t) < 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// dedupSlow is dedupFrom with a map, for large inputs.
+func dedupSlow(tokens []string, dup int) []string {
+	seen := make(map[string]struct{}, len(tokens))
+	out := make([]string, dup, len(tokens)-1)
+	copy(out, tokens[:dup])
+	for _, t := range tokens[:dup] {
+		seen[t] = struct{}{}
+	}
+	for _, t := range tokens[dup+1:] {
 		if _, ok := seen[t]; ok {
 			continue
 		}
@@ -54,6 +126,16 @@ func Dedup(tokens []string) []string {
 		out = append(out, t)
 	}
 	return out
+}
+
+// indexOf returns the position of t in xs or -1.
+func indexOf(xs []string, t string) int {
+	for i, x := range xs {
+		if x == t {
+			return i
+		}
+	}
+	return -1
 }
 
 // QGrams returns the q-grams of s. Strings shorter than q yield a single gram
@@ -93,6 +175,16 @@ type Ordering struct {
 func BuildOrdering(docs [][]string) *Ordering {
 	df := make(map[string]int)
 	for _, doc := range docs {
+		if len(doc) <= 32 {
+			// Small documents: linear duplicate scan beats allocating a
+			// per-document set.
+			for i, t := range doc {
+				if indexOf(doc[:i], t) < 0 {
+					df[t]++
+				}
+			}
+			continue
+		}
 		seen := make(map[string]struct{}, len(doc))
 		for _, t := range doc {
 			if _, ok := seen[t]; ok {
@@ -128,26 +220,35 @@ func (o *Ordering) Rank(t string) (int, bool) {
 
 // Less reports whether token a precedes token b in the global ordering.
 func (o *Ordering) Less(a, b string) bool {
+	return o.Compare(a, b) < 0
+}
+
+// Compare orders two tokens by the global ordering, returning a negative,
+// zero or positive value as a sorts before, equal to, or after b. Zero only
+// for equal tokens, so the ordering is strict and sort stability is moot.
+func (o *Ordering) Compare(a, b string) int {
 	ra, oka := o.rank[a]
 	rb, okb := o.rank[b]
 	switch {
 	case oka && okb:
 		if ra != rb {
-			return ra < rb
+			return ra - rb
 		}
-		return a < b
+		return strings.Compare(a, b)
 	case oka:
-		return true // known tokens precede unknown ones
+		return -1 // known tokens precede unknown ones
 	case okb:
-		return false
+		return 1
 	default:
-		return a < b
+		return strings.Compare(a, b)
 	}
 }
 
 // Sort sorts tokens in place by the global ordering and returns the slice.
+// slices.SortFunc keeps the sort allocation-free (sort.Slice pays for a
+// reflect-based swapper on every call).
 func (o *Ordering) Sort(tokens []string) []string {
-	sort.Slice(tokens, func(i, j int) bool { return o.Less(tokens[i], tokens[j]) })
+	slices.SortFunc(tokens, o.Compare)
 	return tokens
 }
 

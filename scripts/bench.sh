@@ -7,17 +7,39 @@
 # The combined output is converted by cmd/benchjson into BENCH_core.json,
 # the checked-in snapshot that lets perf regressions show up in review.
 #
+# When a previous ${BENCH_OUT} exists it is diffed against: per-benchmark
+# ns/op and allocs/op deltas print to stderr, and an allocs/op regression of
+# more than ${BENCH_MAX_ALLOCS_REGRESS}% in ${BENCH_GATE} fails the run
+# (exit 2 from benchjson) — this is how CHECK_BENCH=1 in check.sh turns the
+# snapshot into a perf gate. Set BENCH_ALLOW_REGRESS=1 to record a
+# deliberate regression (the deltas still print).
+#
 # Environment:
-#   BENCHTIME  benchtime for BenchmarkDIMEPlus (default 1s)
-#   BENCH_OUT  output JSON path (default BENCH_core.json)
+#   BENCHTIME                 benchtime for BenchmarkDIMEPlus (default 1s)
+#   BENCH_OUT                 output JSON path (default BENCH_core.json)
+#   BENCH_GATE                gated benchmark (default BenchmarkDIMEPlus)
+#   BENCH_MAX_ALLOCS_REGRESS  allowed allocs/op growth percent (default 25)
+#   BENCH_ALLOW_REGRESS       1 = diff but never fail
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 BENCH_OUT="${BENCH_OUT:-BENCH_core.json}"
+BENCH_GATE="${BENCH_GATE:-BenchmarkDIMEPlus}"
+BENCH_MAX_ALLOCS_REGRESS="${BENCH_MAX_ALLOCS_REGRESS:-25}"
 
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+prev_snap="$(mktemp)"
+trap 'rm -f "$tmp" "$prev_snap"' EXIT
+
+prev_args=()
+if [[ -s "${BENCH_OUT}" ]]; then
+    cp "${BENCH_OUT}" "$prev_snap"
+    prev_args=(-prev "$prev_snap")
+    if [[ "${BENCH_ALLOW_REGRESS:-0}" != "1" ]]; then
+        prev_args+=(-gate "${BENCH_GATE}" -max-allocs-regress "${BENCH_MAX_ALLOCS_REGRESS}")
+    fi
+fi
 
 echo "== BenchmarkDIMEPlus + BenchmarkDIMEPlusParallel (-benchtime=${BENCHTIME})"
 go test -run='^$' -bench='^BenchmarkDIMEPlus(Parallel)?$' -benchmem -benchtime="${BENCHTIME}" . | tee "$tmp"
@@ -25,5 +47,5 @@ go test -run='^$' -bench='^BenchmarkDIMEPlus(Parallel)?$' -benchmem -benchtime="
 echo "== experiment smoke (-benchtime=1x)"
 go test -run='^$' -bench='^BenchmarkExp(1Fig6|4TableI)$' -benchmem -benchtime=1x . | tee -a "$tmp"
 
-go run ./cmd/benchjson -o "${BENCH_OUT}" <"$tmp"
+go run ./cmd/benchjson -o "${BENCH_OUT}" ${prev_args[@]+"${prev_args[@]}"} <"$tmp"
 echo "bench: wrote ${BENCH_OUT}"

@@ -20,8 +20,15 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== dimelint ./... (baseline: lint.baseline.json)"
-go run ./cmd/dimelint -baseline lint.baseline.json ./...
+echo "== dimelint ./... (baseline: lint.baseline.json, budget: alloc.budget.json)"
+# The allocation budget is the static half of the perf gate: dimelint fails
+# when a hot-path allocation site is added beyond alloc.budget.json. To
+# bootstrap a fresh budget (e.g. after deliberate optimization work removes
+# sites, or on a new checkout where the file is missing/empty), regenerate it
+# with:
+#     go run ./cmd/dimelint -write-alloc-budget alloc.budget.json ./...
+# and review the diff — shrinkage is a win to commit, growth needs a reason.
+go run ./cmd/dimelint -baseline lint.baseline.json -alloc-budget alloc.budget.json ./...
 
 echo "== go test -race ./..."
 go test -race ./...
