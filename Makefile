@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint alloc-report check bench
+.PHONY: build test lint alloc-report check bench trend
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,13 @@ check:
 	./scripts/check.sh
 
 # Performance snapshot: BenchmarkDIMEPlus + experiment smoke, written to
-# BENCH_core.json via cmd/benchjson. Override BENCHTIME / BENCH_OUT.
+# BENCH_core.json via cmd/benchjson and appended to BENCH_history.jsonl.
+# Override BENCHTIME / BENCH_OUT / BENCH_HISTORY.
 bench:
 	./scripts/bench.sh
+
+# Multi-run regression check: compare BENCH_history.jsonl's newest entry
+# against the median of the preceding runs (exit 2 on regression; see
+# cmd/benchjson for the exit-code contract).
+trend:
+	$(GO) run ./cmd/benchjson -trend -history BENCH_history.jsonl -gate BenchmarkDIMEPlus

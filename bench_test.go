@@ -174,7 +174,9 @@ func scholarBenchGroup() (*datagen.ScholarOptions, *core.Options) {
 // the standard 600-publication Scholar group. The nil-probe variant is the
 // production fast path (the observability budget requires it within 2% of an
 // uninstrumented build); the traced variant pays for a full recording span
-// tree per run.
+// tree per run; the flight-recorder variant is the always-on production
+// configuration (scripts/bench.sh gates it within 5% ns/op of nil-probe via
+// cmd/benchjson's overhead check).
 func BenchmarkDIMEPlus(b *testing.B) {
 	gopts, opts := scholarBenchGroup()
 	g := datagen.Scholar(*gopts)
@@ -191,6 +193,17 @@ func BenchmarkDIMEPlus(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			o := *opts
 			o.Probe = obs.NewTrace()
+			res, err := core.DIMEPlus(g, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Stats.PositiveVerified), "verifications/op")
+		}
+	})
+	b.Run("flight-recorder", func(b *testing.B) {
+		o := *opts
+		o.Probe = obs.NewFlightRecorder(obs.FlightOptions{})
+		for i := 0; i < b.N; i++ {
 			res, err := core.DIMEPlus(g, o)
 			if err != nil {
 				b.Fatal(err)

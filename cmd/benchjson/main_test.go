@@ -3,9 +3,12 @@ package main
 import (
 	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 )
 
 const sample = `goos: linux
@@ -116,6 +119,206 @@ func TestDiffDeltasAndGate(t *testing.T) {
 	cur.Benchmarks["BenchmarkDIMEPlus/traced"] = Result{NsPerOp: 28e6, AllocsPerOp: 999999}
 	if got := diff(cur, prev, "", 25, &strings.Builder{}); len(got) != 0 {
 		t.Errorf("ungated diff flagged regressions: %v", got)
+	}
+}
+
+// runBenchjson invokes run() with a fixed clock, returning stderr and exit.
+func runBenchjson(t *testing.T, stdin string, args ...string) (string, int) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(args, strings.NewReader(stdin), &stdout, &stderr, time.Unix(1754600000, 0))
+	return stderr.String(), code
+}
+
+func TestHistoryAppend(t *testing.T) {
+	dir := t.TempDir()
+	hist := filepath.Join(dir, "history.jsonl")
+	for i := 0; i < 2; i++ {
+		stderr, code := runBenchjson(t, sample, "-o", filepath.Join(dir, "out.json"), "-history", hist)
+		if code != 0 {
+			t.Fatalf("run %d: exit %d, stderr %q", i, code, stderr)
+		}
+	}
+	entries, err := readHistory(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("history has %d entries, want 2", len(entries))
+	}
+	for i, e := range entries {
+		if e.UnixTS != 1754600000 {
+			t.Errorf("entry %d unix_ts = %d", i, e.UnixTS)
+		}
+		if r := e.Benchmarks["BenchmarkDIMEPlus/nil-probe"]; math.Abs(r.NsPerOp-40262448) > 0.5 {
+			t.Errorf("entry %d ns/op = %g", i, r.NsPerOp)
+		}
+	}
+}
+
+func TestReadHistoryRejectsCorruption(t *testing.T) {
+	hist := filepath.Join(t.TempDir(), "history.jsonl")
+	if err := os.WriteFile(hist, []byte("{\"unix_ts\":1,\"benchmarks\":{}}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readHistory(hist); err == nil {
+		t.Fatal("corrupt history line should error")
+	}
+}
+
+// histEntries builds a history where BenchmarkDIMEPlus/nil-probe holds
+// steady and the final entry takes the given ns/op and allocs/op.
+func histEntries(finalNs, finalAllocs float64) []historyEntry {
+	entries := make([]historyEntry, 0, 5)
+	for i := 0; i < 4; i++ {
+		entries = append(entries, historyEntry{
+			UnixTS: int64(i),
+			Benchmarks: map[string]Result{
+				"BenchmarkDIMEPlus/nil-probe": {NsPerOp: 30e6 + float64(i)*1e5, AllocsPerOp: 14800},
+				"BenchmarkUngated":            {NsPerOp: 1e6, AllocsPerOp: 10},
+			},
+		})
+	}
+	entries = append(entries, historyEntry{
+		UnixTS: 4,
+		Benchmarks: map[string]Result{
+			"BenchmarkDIMEPlus/nil-probe": {NsPerOp: finalNs, AllocsPerOp: finalAllocs},
+			"BenchmarkUngated":            {NsPerOp: 99e6, AllocsPerOp: 999999},
+			"BenchmarkDIMEPlus/new":       {NsPerOp: 1e6, AllocsPerOp: 5},
+		},
+	})
+	return entries
+}
+
+func TestTrendCheck(t *testing.T) {
+	// Steady state: within budget, no regressions; the ungated blowup and
+	// the sample-starved new benchmark are both ignored.
+	var out strings.Builder
+	if got := trendCheck(histEntries(31e6, 14900), "BenchmarkDIMEPlus", 5, 15, 25, &out); len(got) != 0 {
+		t.Errorf("steady trend flagged: %v", got)
+	}
+	if !strings.Contains(out.String(), "BenchmarkDIMEPlus/new: only 0 prior sample(s), skipping") {
+		t.Errorf("missing skip note:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "BenchmarkUngated") {
+		t.Errorf("ungated benchmark analyzed:\n%s", out.String())
+	}
+
+	// ns/op 50% over the ~30.15e6 median regresses.
+	got := trendCheck(histEntries(45e6, 14900), "BenchmarkDIMEPlus", 5, 15, 25, &strings.Builder{})
+	if len(got) != 1 || !strings.Contains(got[0], "ns/op grew") {
+		t.Errorf("ns/op trend regression = %v", got)
+	}
+
+	// allocs/op 100% over the median regresses even with flat ns/op.
+	got = trendCheck(histEntries(30e6, 29600), "BenchmarkDIMEPlus", 5, 15, 25, &strings.Builder{})
+	if len(got) != 1 || !strings.Contains(got[0], "allocs/op grew") {
+		t.Errorf("allocs trend regression = %v", got)
+	}
+
+	// A single entry has nothing to compare against.
+	if got := trendCheck(histEntries(30e6, 14800)[:1], "BenchmarkDIMEPlus", 5, 15, 25, &strings.Builder{}); got != nil {
+		t.Errorf("single-entry trend = %v", got)
+	}
+}
+
+func TestTrendWindowLimitsMedian(t *testing.T) {
+	// Ancient fast entries outside the window must not drag the median
+	// down: with window 2 only the two slow recent entries count.
+	entries := []historyEntry{
+		{Benchmarks: map[string]Result{"B": {NsPerOp: 1e6, AllocsPerOp: 10}}},
+		{Benchmarks: map[string]Result{"B": {NsPerOp: 1e6, AllocsPerOp: 10}}},
+		{Benchmarks: map[string]Result{"B": {NsPerOp: 40e6, AllocsPerOp: 10}}},
+		{Benchmarks: map[string]Result{"B": {NsPerOp: 41e6, AllocsPerOp: 10}}},
+		{Benchmarks: map[string]Result{"B": {NsPerOp: 42e6, AllocsPerOp: 10}}},
+	}
+	if got := trendCheck(entries, "B", 2, 15, 25, &strings.Builder{}); len(got) != 0 {
+		t.Errorf("windowed trend flagged: %v", got)
+	}
+}
+
+func TestTrendCLIExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	hist := filepath.Join(dir, "history.jsonl")
+	var lines []byte
+	for _, e := range histEntries(45e6, 14900) {
+		line, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(append(lines, line...), '\n')
+	}
+	if err := os.WriteFile(hist, lines, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr, code := runBenchjson(t, "", "-trend", "-history", hist, "-gate", "BenchmarkDIMEPlus")
+	if code != 2 || !strings.Contains(stderr, "TREND REGRESSION") {
+		t.Errorf("regressing trend: exit %d, stderr %q", code, stderr)
+	}
+	if stderr, code := runBenchjson(t, "", "-trend"); code != 1 || !strings.Contains(stderr, "-trend needs -history") {
+		t.Errorf("trend without history: exit %d, stderr %q", code, stderr)
+	}
+	if _, code := runBenchjson(t, "", "-trend", "-history", filepath.Join(dir, "missing.jsonl")); code != 1 {
+		t.Errorf("missing history: exit %d", code)
+	}
+}
+
+func TestOverheadCheck(t *testing.T) {
+	doc := &Document{Benchmarks: map[string]Result{
+		"BenchmarkDIMEPlus/nil-probe":       {NsPerOp: 30e6},
+		"BenchmarkDIMEPlus/flight-recorder": {NsPerOp: 31e6}, // +3.3%
+	}}
+	msg, err := overheadCheck(doc, "BenchmarkDIMEPlus/nil-probe", "BenchmarkDIMEPlus/flight-recorder", 5, &strings.Builder{})
+	if err != nil || msg != "" {
+		t.Errorf("within budget: msg %q, err %v", msg, err)
+	}
+	doc.Benchmarks["BenchmarkDIMEPlus/flight-recorder"] = Result{NsPerOp: 33e6} // +10%
+	msg, err = overheadCheck(doc, "BenchmarkDIMEPlus/nil-probe", "BenchmarkDIMEPlus/flight-recorder", 5, &strings.Builder{})
+	if err != nil || !strings.Contains(msg, "10.0% slower") {
+		t.Errorf("over budget: msg %q, err %v", msg, err)
+	}
+	if _, err := overheadCheck(doc, "BenchmarkMissing", "BenchmarkDIMEPlus/flight-recorder", 5, &strings.Builder{}); err == nil {
+		t.Error("missing base should error")
+	}
+	if _, err := overheadCheck(doc, "BenchmarkDIMEPlus/nil-probe", "BenchmarkMissing", 5, &strings.Builder{}); err == nil {
+		t.Error("missing probe should error")
+	}
+}
+
+func TestOverheadCLIExitCode(t *testing.T) {
+	in := "BenchmarkDIMEPlus/nil-probe-8 10 30000000 ns/op\n" +
+		"BenchmarkDIMEPlus/flight-recorder-8 10 34000000 ns/op\n"
+	out := filepath.Join(t.TempDir(), "out.json")
+	stderr, code := runBenchjson(t, in, "-o", out,
+		"-overhead-base", "BenchmarkDIMEPlus/nil-probe",
+		"-overhead-probe", "BenchmarkDIMEPlus/flight-recorder")
+	if code != 2 || !strings.Contains(stderr, "OVERHEAD REGRESSION") {
+		t.Errorf("exit %d, stderr %q", code, stderr)
+	}
+	// The snapshot still gets written before the gate fails.
+	if _, err := os.Stat(out); err != nil {
+		t.Errorf("snapshot not written: %v", err)
+	}
+	if stderr, code := runBenchjson(t, in, "-overhead-base", "BenchmarkDIMEPlus/nil-probe"); code != 1 ||
+		!strings.Contains(stderr, "go together") {
+		t.Errorf("half-specified overhead pair: exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	for _, tc := range []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1}, 2},
+		{[]float64{9, 1, 5}, 5},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	} {
+		if got := median(tc.in); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("median(%v) = %g, want %g", tc.in, got, tc.want)
+		}
 	}
 }
 

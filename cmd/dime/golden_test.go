@@ -95,6 +95,16 @@ level 2 (+phi-2): 3 mis-categorized
 	}
 }
 
+// latencyLineRE matches one quantile report line; the numbers are wall-clock
+// measurements and vary run to run, so golden comparisons normalize them.
+var latencyLineRE = regexp.MustCompile(`n=\d+ p50=\S+ p90=\S+ p99=\S+`)
+
+// normalizeLatencies replaces the variable parts of latency quantile lines
+// with fixed placeholders.
+func normalizeLatencies(s string) string {
+	return latencyLineRE.ReplaceAllString(s, "n=N p50=X p90=X p99=X")
+}
+
 func TestGoldenWhyAndStats(t *testing.T) {
 	in := singleGroupFile(t, t.TempDir())
 	stdout, stderr, code := runCLI(t, "-in", in, "-preset", "scholar", "-level", "0", "-why", "-stats")
@@ -108,9 +118,17 @@ func TestGoldenWhyAndStats(t *testing.T) {
   partition 4: every pair provably satisfies phi-1 (signature filter)
   partition 5: every pair provably satisfies phi-2 (signature filter)
 stats: {PositivePairsConsidered:539 PositiveVerified:27 PositiveSkippedByTransitivity:512 NegativeVerified:189 PartitionsFilteredBySignature:3 CertainPairsBySignature:2}
+phase latency (s):
+  candidate-gen      n=N p50=X p90=X p99=X
+  dime+              n=N p50=X p90=X p99=X
+  negative-filter    n=N p50=X p90=X p99=X
+  negative-verify    n=N p50=X p90=X p99=X
+  positive-verify    n=N p50=X p90=X p99=X
+  record-compile     n=N p50=X p90=X p99=X
+  signature-build    n=N p50=X p90=X p99=X
 `
-	if !strings.HasSuffix(stdout, wantTail) {
-		t.Errorf("output mismatch:\n--- got ---\n%s--- want suffix ---\n%s", stdout, wantTail)
+	if norm := normalizeLatencies(stdout); !strings.HasSuffix(norm, wantTail) {
+		t.Errorf("output mismatch:\n--- got ---\n%s--- want suffix ---\n%s", norm, wantTail)
 	}
 }
 
@@ -123,9 +141,10 @@ func TestGoldenCorpusStats(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, stderr %q", code, stderr)
 	}
-	// Wall time and worker count vary by machine; normalize them.
+	// Wall time, worker count and latency measurements vary by machine;
+	// normalize them.
 	norm := regexp.MustCompile(`batch: 2 groups, \d+ workers, wall \S+`).
-		ReplaceAllString(stdout, "batch: 2 groups, W workers, wall T")
+		ReplaceAllString(normalizeLatencies(stdout), "batch: 2 groups, W workers, wall T")
 	want := `Group                    Entities    Pivot  Flagged  Score
 Gustav Wu                      22       17        5  P=0.40 R=1.00 F=0.57
 Nan Harris                     27       22        5  P=0.40 R=1.00 F=0.57
@@ -133,7 +152,17 @@ Nan Harris                     27       22        5  P=0.40 R=1.00 F=0.57
 aggregate (deepest level, 2 groups): P=0.40 R=1.00 F=0.57
 
 batch: 2 groups, W workers, wall T
+group latency (s): n=N p50=X p90=X p99=X
 stats: {PositivePairsConsidered:539 PositiveVerified:87 PositiveSkippedByTransitivity:452 NegativeVerified:236 PartitionsFilteredBySignature:4 CertainPairsBySignature:2}
+phase latency (s):
+  batch              n=N p50=X p90=X p99=X
+  candidate-gen      n=N p50=X p90=X p99=X
+  dime+              n=N p50=X p90=X p99=X
+  negative-filter    n=N p50=X p90=X p99=X
+  negative-verify    n=N p50=X p90=X p99=X
+  positive-verify    n=N p50=X p90=X p99=X
+  record-compile     n=N p50=X p90=X p99=X
+  signature-build    n=N p50=X p90=X p99=X
 `
 	if norm != want {
 		t.Errorf("output mismatch:\n--- got ---\n%s--- want ---\n%s", norm, want)
@@ -176,6 +205,123 @@ func TestTraceExport(t *testing.T) {
 	}
 }
 
+func TestMetricsExport(t *testing.T) {
+	dir := t.TempDir()
+	in := singleGroupFile(t, dir)
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	_, stderr, code := runCLI(t, "-in", in, "-preset", "scholar", "-metrics-out", metricsPath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(data)
+	// Counter values are deterministic (work counts, not timings); histogram
+	// structure is fixed even though observations vary.
+	for _, want := range []string{
+		"# TYPE dime_positive_verify_verified counter\ndime_positive_verify_verified 27\n",
+		"# TYPE dime_phase_positive_verify_seconds histogram\n",
+		`dime_phase_positive_verify_seconds_bucket{le="+Inf"} 1`,
+		"dime_phase_positive_verify_seconds_count 1\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+	// The exposition must be structurally valid: every non-comment line is
+	// "name[{le=...}] value", every metric has a preceding # TYPE.
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if name, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			typed[strings.Fields(name)[0]] = true
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		base := fields[0]
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		base = strings.TrimSuffix(base, "_bucket")
+		base = strings.TrimSuffix(base, "_sum")
+		base = strings.TrimSuffix(base, "_count")
+		if !typed[base] {
+			t.Errorf("sample %q has no preceding # TYPE for %q", line, base)
+		}
+	}
+}
+
+func TestFlightExportCLI(t *testing.T) {
+	dir := t.TempDir()
+	in := singleGroupFile(t, dir)
+	flightPath := filepath.Join(dir, "flight.json")
+	_, stderr, code := runCLI(t, "-in", in, "-preset", "scholar",
+		"-flight-out", flightPath, "-flight-resources")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	data, err := os.ReadFile(flightPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex obs.FlightExport
+	if err := json.Unmarshal(data, &ex); err != nil {
+		t.Fatalf("flight dump is not valid JSON: %v", err)
+	}
+	if ex.Version != 1 || ex.Tool != "dime-flight" || ex.Kept != 1 || len(ex.Traces) != 1 {
+		t.Fatalf("export header = %+v", ex)
+	}
+	tr := ex.Traces[0]
+	if tr.Name != "dime+" || len(tr.Events) == 0 || tr.Events[0].Name != "dime+" {
+		t.Fatalf("trace = %+v", tr)
+	}
+	phases := map[string]bool{}
+	for _, ev := range tr.Events {
+		phases[ev.Name] = true
+	}
+	for _, phase := range []string{
+		obs.PhaseRecordCompile, obs.PhaseSignatureBuild, obs.PhaseCandidateGen,
+		obs.PhasePositiveVerify, obs.PhaseNegativeFilter, obs.PhaseNegativeVerify,
+	} {
+		if !phases[phase] {
+			t.Errorf("flight trace missing phase %s", phase)
+		}
+	}
+	// -flight-resources attributes heap allocations; compiling 33 records
+	// allocates, so the record-compile span must show a nonzero delta.
+	for _, ev := range tr.Events {
+		if ev.Name == obs.PhaseRecordCompile && ev.AllocBytes == 0 {
+			t.Errorf("record-compile span has no allocation attribution: %+v", ev)
+		}
+	}
+}
+
+func TestFlightThresholdDropsFastRuns(t *testing.T) {
+	dir := t.TempDir()
+	in := singleGroupFile(t, dir)
+	flightPath := filepath.Join(dir, "flight.json")
+	_, stderr, code := runCLI(t, "-in", in, "-preset", "scholar",
+		"-flight-out", flightPath, "-flight-threshold", "1h")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	data, err := os.ReadFile(flightPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex obs.FlightExport
+	if err := json.Unmarshal(data, &ex); err != nil {
+		t.Fatalf("flight dump is not valid JSON: %v", err)
+	}
+	if ex.Kept != 0 || ex.Dropped != 1 || len(ex.Traces) != 0 {
+		t.Fatalf("1h threshold should drop the run: %+v", ex)
+	}
+}
+
 func TestLogFlagEmitsSpans(t *testing.T) {
 	in := singleGroupFile(t, t.TempDir())
 	_, stderr, code := runCLI(t, "-in", in, "-preset", "scholar", "-log")
@@ -199,12 +345,15 @@ func TestIntraWorkersFlagIdenticalOutput(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, stderr %q", code, stderr)
 	}
+	// Latency quantiles are wall-clock measurements and differ between runs;
+	// everything else must match byte for byte.
+	base = normalizeLatencies(base)
 	for _, workers := range []string{"1", "2", "4"} {
 		got, stderr, code := runCLI(t, "-in", in, "-preset", "scholar", "-stats", "-intra-workers", workers)
 		if code != 0 {
 			t.Fatalf("-intra-workers %s: exit %d, stderr %q", workers, code, stderr)
 		}
-		if got != base {
+		if got = normalizeLatencies(got); got != base {
 			t.Errorf("-intra-workers %s output diverged:\n--- got ---\n%s--- want ---\n%s", workers, got, base)
 		}
 	}

@@ -23,8 +23,14 @@
 // Observability: -trace FILE writes a JSON span tree of every pipeline phase
 // with timings and work counters; -log emits one structured log line per
 // completed phase to stderr; -serve-debug ADDR serves /debug/pprof/,
-// /debug/vars and a plaintext /metrics for the duration of the run and then
-// waits for ctrl-c so the endpoints can be inspected.
+// /debug/vars, /debug/flight and a Prometheus-format /metrics for the
+// duration of the run and then waits for ctrl-c so the endpoints can be
+// inspected. -metrics-out FILE writes the final Prometheus text snapshot;
+// -flight-out FILE dumps the flight recorder (ring buffer of recent runs,
+// tail-retained above -flight-threshold, with per-span heap-allocation
+// deltas under -flight-resources). With -stats, phase-latency quantiles
+// (p50/p90/p99, interpolated from fixed-bucket histograms) follow the work
+// counters.
 package main
 
 import (
@@ -83,7 +89,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		intra      = fs.Int("intra-workers", 0, "worker goroutines within each DIME+ run (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 		traceFile  = fs.String("trace", "", "write a JSON span trace of the run to this file")
 		logSpans   = fs.Bool("log", false, "emit one structured log line per completed phase to stderr")
-		serveDebug = fs.String("serve-debug", "", "serve /debug/pprof/, /debug/vars and /metrics on this address (e.g. :6060)")
+		serveDebug = fs.String("serve-debug", "", "serve /debug/pprof/, /debug/vars, /debug/flight and /metrics on this address (e.g. :6060)")
+		metricsOut = fs.String("metrics-out", "", "write the final metrics snapshot in Prometheus text format to this file")
+		flightOut  = fs.String("flight-out", "", "write the flight-recorder dump (recent retained runs) as JSON to this file")
+		flightThr  = fs.Duration("flight-threshold", 0, "flight recorder keeps only runs at least this long (0 keeps all)")
+		flightRes  = fs.Bool("flight-resources", false, "attach per-span heap-allocation deltas to flight-recorder events")
 		pos        stringsFlag
 		neg        stringsFlag
 	)
@@ -101,9 +111,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	// Observability wiring: any combination of a JSON trace, per-span logs,
-	// and the metrics registry behind the debug server.
+	// the metrics registry (behind the debug server and/or -metrics-out and
+	// -stats quantiles), and the flight recorder.
 	var (
 		tr     *obs.Trace
+		reg    *obs.Registry
+		fr     *obs.FlightRecorder
 		probes []obs.Probe
 		srv    *obs.DebugServer
 	)
@@ -115,13 +128,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		probes = append(probes, obs.Logged(obs.NewLogger(stderr, slog.LevelInfo), slog.LevelInfo))
 	}
 	if *serveDebug != "" {
+		// The debug server exposes the process-wide registry, so feed that
+		// one; otherwise a run-local registry keeps the snapshot scoped.
+		reg = obs.Default()
+	} else if *stats || *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	if reg != nil {
+		probes = append(probes, obs.Observer(reg))
+	}
+	if *flightOut != "" || *serveDebug != "" || *flightThr > 0 || *flightRes {
+		fr = obs.NewFlightRecorder(obs.FlightOptions{Threshold: *flightThr, Resources: *flightRes})
+		probes = append(probes, fr)
+	}
+	if *serveDebug != "" {
 		var err error
-		if srv, err = obs.ServeDebug(*serveDebug, nil); err != nil {
+		if srv, err = obs.ServeDebug(*serveDebug, reg, fr); err != nil {
 			fmt.Fprintf(stderr, "dime: %v\n", err)
 			return 1
 		}
 		defer func() { _ = srv.Close() }()
-		probes = append(probes, obs.Observer(nil))
 	}
 	probe := obs.Multi(probes...)
 
@@ -131,6 +157,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		treeAttrs: treeAttrs, pos: pos, neg: neg,
 		level: *level, basic: *basic, stats: *stats, why: *why,
 		learn: *learn, profile: *profile, intraWorkers: *intra,
+		reg: reg,
 	})
 
 	if tr != nil {
@@ -143,6 +170,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if err != nil {
 			fmt.Fprintf(stderr, "dime: writing trace: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeFileWith(*metricsOut, reg.WritePrometheus); err != nil {
+			fmt.Fprintf(stderr, "dime: writing metrics: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	if *flightOut != "" {
+		if err := writeFileWith(*flightOut, fr.WriteJSON); err != nil {
+			fmt.Fprintf(stderr, "dime: writing flight dump: %v\n", err)
 			if code == 0 {
 				code = 1
 			}
@@ -167,6 +210,22 @@ type cliArgs struct {
 	learn                       string
 	profile                     bool
 	intraWorkers                int
+	// reg is the Observer registry behind the run's probe (nil when no
+	// metrics sink was requested); -stats reads its phase-latency quantiles.
+	reg *obs.Registry
+}
+
+// writeFileWith creates path and streams dump into it.
+func writeFileWith(path string, dump func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = dump(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // runInput dispatches to the profile / learn / corpus / single-group paths.
@@ -185,7 +244,7 @@ func runInput(stdout, stderr io.Writer, probe obs.Probe, c cliArgs) int {
 			return fail(err)
 		}
 		opts := dime.Options{Config: cfg, Rules: rs, Probe: probe, IntraWorkers: c.intraWorkers}
-		if err := runCorpus(stdout, groups, opts, c.stats); err != nil {
+		if err := runCorpus(stdout, groups, opts, c.stats, c.reg); err != nil {
 			return fail(err)
 		}
 		return 0
@@ -254,8 +313,33 @@ func runInput(stdout, stderr io.Writer, probe obs.Probe, c cliArgs) int {
 	}
 	if c.stats {
 		fmt.Fprintf(stdout, "stats: %+v\n", res.Stats)
+		printPhaseLatencies(stdout, c.reg)
 	}
 	return 0
+}
+
+// printPhaseLatencies renders the phase-latency histograms the Observer
+// collected: one line per pipeline phase with the count and interpolated
+// p50/p90/p99 (seconds). Nothing is printed without a registry or when no
+// phase spans were observed.
+func printPhaseLatencies(stdout io.Writer, reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	header := false
+	for _, s := range reg.HistogramSummaries() {
+		phase, ok := strings.CutPrefix(s.Name, "dime.phase.")
+		if !ok {
+			continue
+		}
+		phase = strings.TrimSuffix(phase, ".seconds")
+		if !header {
+			fmt.Fprintln(stdout, "phase latency (s):")
+			header = true
+		}
+		fmt.Fprintf(stdout, "  %-18s n=%d p50=%.3g p90=%.3g p99=%.3g\n",
+			phase, s.Count, s.P50, s.P90, s.P99)
+	}
 }
 
 // resolveRules picks the rule source: a -rules file (parsed against the
@@ -418,7 +502,7 @@ func printProfile(stdout io.Writer, g *entity.Group) error {
 // prints a per-group summary plus (when ground truth is present) the
 // aggregate score of the deepest scrollbar level. With stats, the batch
 // aggregate (summed work counters, wall time, workers) follows.
-func runCorpus(stdout io.Writer, groups []*entity.Group, opts dime.Options, stats bool) error {
+func runCorpus(stdout io.Writer, groups []*entity.Group, opts dime.Options, stats bool, reg *obs.Registry) error {
 	results, bs, err := dime.DiscoverAllStats(groups, opts, 0)
 	if err != nil {
 		return err
@@ -440,7 +524,11 @@ func runCorpus(stdout io.Writer, groups []*entity.Group, opts dime.Options, stat
 	}
 	if stats {
 		fmt.Fprintf(stdout, "\nbatch: %d groups, %d workers, wall %v\n", bs.Groups, bs.Workers, bs.Wall.Round(time.Millisecond))
+		gl := bs.GroupLatency
+		fmt.Fprintf(stdout, "group latency (s): n=%d p50=%.3g p90=%.3g p99=%.3g\n",
+			gl.Count, gl.P50, gl.P90, gl.P99)
 		fmt.Fprintf(stdout, "stats: %+v\n", bs.Stats)
+		printPhaseLatencies(stdout, reg)
 	}
 	return nil
 }

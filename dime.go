@@ -206,6 +206,16 @@ type (
 	TraceSpan = obs.TraceSpan
 	// DebugServer is the HTTP server ServeDebug starts.
 	DebugServer = obs.DebugServer
+	// FlightRecorder is the always-on probe: a fixed-size ring of recent
+	// span traces with tail-based latency retention, dumped at
+	// /debug/flight and by FlightRecorder.WriteJSON.
+	FlightRecorder = obs.FlightRecorder
+	// FlightOptions configures a FlightRecorder.
+	FlightOptions = obs.FlightOptions
+	// FlightTrace is one retained run in a flight dump.
+	FlightTrace = obs.FlightTrace
+	// FlightEvent is one span of a retained trace.
+	FlightEvent = obs.FlightEvent
 )
 
 // NewTrace returns an empty recording probe; pass it as Options.Probe and
@@ -216,10 +226,15 @@ func NewTrace() *Trace { return obs.NewTrace() }
 // dropped, and with no live probes it returns nil (uninstrumented).
 func MultiProbe(probes ...Probe) Probe { return obs.Multi(probes...) }
 
+// NewFlightRecorder builds a flight recorder; pass it as Options.Probe
+// (possibly via MultiProbe) to keep the most recent slow runs inspectable.
+func NewFlightRecorder(opts FlightOptions) *FlightRecorder { return obs.NewFlightRecorder(opts) }
+
 // ServeDebug starts an HTTP server on addr exposing /debug/pprof/,
-// /debug/vars (expvar, including the process-wide metrics registry) and a
-// plaintext /metrics dump. Close the returned server when done.
-func ServeDebug(addr string) (*DebugServer, error) { return obs.ServeDebug(addr, nil) }
+// /debug/vars (expvar, including the process-wide metrics registry with
+// latency quantiles), /debug/flight (the process-wide flight recorder) and
+// /metrics (Prometheus text exposition). Close the returned server when done.
+func ServeDebug(addr string) (*DebugServer, error) { return obs.ServeDebug(addr, nil, nil) }
 
 // Session maintains discovery state incrementally as a group grows (new
 // publications landing on a profile, new products entering a category):

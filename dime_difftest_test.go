@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dime/internal/difftest"
+	"dime/internal/obs"
 )
 
 // TestDifferentialDIMEVariants is the differential harness: across a corpus
@@ -22,6 +23,28 @@ func TestDifferentialDIMEVariants(t *testing.T) {
 		t.Run(c.Name, func(t *testing.T) {
 			difftest.Check(t, c, 2, 4)
 		})
+	}
+}
+
+// TestDifferentialFlightRecorderAttached reruns a slice of the differential
+// corpus with the flight recorder (resource attribution on) attached as the
+// probe on every variant: instrumentation that is meant to stay always-on in
+// production must not perturb a single byte of the results, even on the
+// parallel paths whose spans it records concurrently.
+func TestDifferentialFlightRecorderAttached(t *testing.T) {
+	n := 45
+	if testing.Short() {
+		n = 15
+	}
+	fr := obs.NewFlightRecorder(obs.FlightOptions{Resources: true})
+	for _, c := range difftest.Corpus(n, 0xF117) {
+		c.Probe = fr
+		t.Run(c.Name, func(t *testing.T) {
+			difftest.Check(t, c, 2, 4)
+		})
+	}
+	if fr.Kept() == 0 {
+		t.Fatal("flight recorder observed no runs")
 	}
 }
 

@@ -21,6 +21,11 @@ type BatchStats struct {
 	Workers int
 	// Wall is the end-to-end wall-clock duration of the batch.
 	Wall time.Duration
+	// GroupLatency summarizes the per-group DIMEPlus wall times (seconds):
+	// count, sum, and interpolated p50/p90/p99 from a fixed-bucket
+	// histogram, so a batch report shows the latency distribution across
+	// groups, not just the aggregate wall.
+	GroupLatency obs.LatencySummary
 	// Stats sums the per-group Stats.
 	Stats Stats
 }
@@ -66,8 +71,8 @@ func DiscoverAllStats(groups []*entity.Group, opts Options, workers int) ([]*Res
 		}
 	}
 
-	//lint:ignore detersafe BatchStats.Wall is wall-clock metadata about the run, not result content
-	start := time.Now()
+	start := obs.Now()
+	latency := obs.NewHistogram(nil)
 	run := obs.Start(opts.Probe, "batch")
 	run.Count("groups", int64(len(groups)))
 	run.Count("workers", int64(workers))
@@ -88,7 +93,9 @@ func DiscoverAllStats(groups []*entity.Group, opts Options, workers int) ([]*Res
 				if failed.Load() {
 					continue // drain remaining jobs after a failure
 				}
+				groupStart := obs.Now()
 				res, err := DIMEPlus(groups[idx], opts)
+				latency.Observe(obs.Since(groupStart).Seconds())
 				if err != nil {
 					failed.Store(true)
 					errs[idx] = fmt.Errorf("group %q: %w", groups[idx].Name, err)
@@ -111,8 +118,12 @@ func DiscoverAllStats(groups []*entity.Group, opts Options, workers int) ([]*Res
 			}
 		}
 	}
-	//lint:ignore detersafe BatchStats.Wall is wall-clock metadata about the run, not result content
-	bs := BatchStats{Groups: len(groups), Workers: workers, Wall: time.Since(start)}
+	bs := BatchStats{
+		Groups:       len(groups),
+		Workers:      workers,
+		Wall:         obs.Since(start),
+		GroupLatency: latency.Summary(),
+	}
 	for _, r := range results {
 		bs.Stats.Add(r.Stats)
 	}

@@ -1,11 +1,18 @@
 package core
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
 
+	"dime/internal/datagen"
 	"dime/internal/fixtures"
 	"dime/internal/obs"
+	"dime/internal/presets"
 )
 
 // TestDIMEPlusProbeObservesPhases checks the tentpole contract: a recording
@@ -268,6 +275,166 @@ func TestBenefitSortLimitNonPositive(t *testing.T) {
 		}
 		if !reflect.DeepEqual(partitionIDs(g, res.Partitions), partitionIDs(base.Group, base.Partitions)) {
 			t.Errorf("limit %d: partitions diverged", limit)
+		}
+	}
+}
+
+// TestConcurrentScrapeDuringDiscoverAll races the full debug surface against
+// the pipeline: /metrics, /debug/vars, and /debug/flight are scraped in a loop
+// while DiscoverAll mutates the registry and commits flight traces from its
+// worker pool. Run under -race this is the gate proving every read path
+// (Prometheus exposition, expvar snapshot, ring snapshot) is safe against
+// concurrent writers. Each response must also parse — a scrape mid-run may see
+// partial counts, but never a malformed document.
+func TestConcurrentScrapeDuringDiscoverAll(t *testing.T) {
+	reg := obs.NewRegistry()
+	fr := obs.NewFlightRecorder(obs.FlightOptions{Capacity: 16})
+	srv, err := obs.ServeDebug("127.0.0.1:0", reg, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	cfg := presets.ScholarConfig()
+	opts := Options{
+		Config: cfg,
+		Rules:  presets.ScholarRules(cfg),
+		Probe:  obs.Multi(obs.Observer(reg), fr),
+	}
+	groups := datagen.ScholarPages(12, 40, 0.08, 99)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	scrape := func(path string, check func(t *testing.T, body []byte)) {
+		defer wg.Done()
+		url := "http://" + srv.Addr() + path
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			resp, err := http.Get(url)
+			if err != nil {
+				t.Errorf("GET %s: %v", path, err)
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Errorf("read %s: %v", path, err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("GET %s: status %d", path, resp.StatusCode)
+				return
+			}
+			check(t, body)
+		}
+	}
+	wg.Add(3)
+	go scrape("/metrics", func(t *testing.T, body []byte) {
+		// Every non-comment line is "name[{labels}] value"; a torn exposition
+		// (e.g. a sample without its # TYPE header) would fail here.
+		seenType := make(map[string]bool)
+		for _, line := range strings.Split(strings.TrimSuffix(string(body), "\n"), "\n") {
+			if line == "" {
+				continue
+			}
+			if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+				seenType[strings.Fields(rest)[0]] = true
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				t.Errorf("malformed sample line %q", line)
+				continue
+			}
+			name := fields[0]
+			if i := strings.IndexByte(name, '{'); i >= 0 {
+				name = name[:i]
+			}
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if base, ok := strings.CutSuffix(name, suffix); ok && seenType[base] {
+					name = base
+					break
+				}
+			}
+			if !seenType[name] {
+				t.Errorf("sample %q has no preceding # TYPE", line)
+			}
+		}
+	})
+	go scrape("/debug/vars", func(t *testing.T, body []byte) {
+		var vars map[string]json.RawMessage
+		if err := json.Unmarshal(body, &vars); err != nil {
+			t.Errorf("expvar not JSON: %v", err)
+		}
+	})
+	go scrape("/debug/flight", func(t *testing.T, body []byte) {
+		var ex obs.FlightExport
+		if err := json.Unmarshal(body, &ex); err != nil {
+			t.Errorf("flight export not JSON: %v", err)
+			return
+		}
+		if ex.Tool != "dime-flight" {
+			t.Errorf("flight export tool = %q", ex.Tool)
+		}
+	})
+
+	// Several full batch runs give the scrapers sustained concurrent mutation.
+	for round := 0; round < 3; round++ {
+		if _, err := DiscoverAll(groups, opts, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	// The registry saw every run: one dime+ histogram observation per group
+	// per round, and the flight recorder committed one trace per group plus
+	// one batch-root trace per DiscoverAll call.
+	wantRuns := int64(3 * len(groups))
+	if got := reg.Histogram("dime.phase.dime+.seconds", nil).Count(); got != wantRuns {
+		t.Errorf("run histogram count = %d, want %d", got, wantRuns)
+	}
+	if got, want := fr.Kept(), wantRuns+3; got != want {
+		t.Errorf("flight recorder kept = %d, want %d", got, want)
+	}
+}
+
+// TestDIMEPlusFlightProbeResultIdentical checks that attaching the flight
+// recorder as the probe leaves the discovery output byte-for-byte unchanged
+// and records one trace covering all six phases.
+func TestDIMEPlusFlightProbeResultIdentical(t *testing.T) {
+	base, err := DIMEPlus(fixtures.Figure1Group(), paperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := obs.NewFlightRecorder(obs.FlightOptions{Capacity: 4, Resources: true})
+	opts := paperOptions()
+	opts.Probe = fr
+	res, err := DIMEPlus(fixtures.Figure1Group(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Final(), base.Final()) || res.Stats != base.Stats {
+		t.Fatalf("flight probe changed results: %v vs %v", res.Final(), base.Final())
+	}
+	traces := fr.Snapshot()
+	if len(traces) != 1 || traces[0].Name != "dime+" {
+		t.Fatalf("traces = %+v", traces)
+	}
+	seen := make(map[string]bool)
+	for _, ev := range traces[0].Events {
+		seen[ev.Name] = true
+	}
+	for _, phase := range []string{
+		obs.PhaseRecordCompile, obs.PhaseSignatureBuild, obs.PhaseCandidateGen,
+		obs.PhasePositiveVerify, obs.PhaseNegativeFilter, obs.PhaseNegativeVerify,
+	} {
+		if !seen[phase] {
+			t.Errorf("phase %s missing from flight trace (have %v)", phase, seen)
 		}
 	}
 }

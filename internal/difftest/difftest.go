@@ -21,6 +21,7 @@ import (
 	"dime/internal/core"
 	"dime/internal/datagen"
 	"dime/internal/entity"
+	"dime/internal/obs"
 	"dime/internal/presets"
 	"dime/internal/rules"
 )
@@ -39,6 +40,11 @@ type Case struct {
 	Config *rules.Config
 	// Rules is the positive/negative rule set to discover with.
 	Rules rules.RuleSet
+	// Probe, when non-nil, is attached to every run Diff performs, so the
+	// harness can prove instrumentation (e.g. the flight recorder) does not
+	// perturb results. Probes must be safe for the concurrent spans the
+	// parallel variants open.
+	Probe obs.Probe
 }
 
 // Corpus generates n cases deterministically from baseSeed, cycling the
@@ -157,7 +163,7 @@ func Check(t TB, c Case, workers ...int) {
 //     stats and witnesses included, must be deeply equal for every worker
 //     count.
 func (c Case) Diff(workers ...int) error {
-	base := core.Options{Config: c.Config, Rules: c.Rules}
+	base := core.Options{Config: c.Config, Rules: c.Rules, Probe: c.Probe}
 	want, err := core.DIME(c.Group, base)
 	if err != nil {
 		return fmt.Errorf("DIME: %w", err)

@@ -24,8 +24,7 @@ func Observer(r *Registry) Probe {
 type observerProbe struct{ r *Registry }
 
 func (p observerProbe) StartRun(name string, attrs ...Attr) Span {
-	//lint:ignore detersafe span start time feeds metrics histograms, not discovery results
-	return observerSpan{r: p.r, phase: name, rule: ruleOf(attrs), start: time.Now()}
+	return observerSpan{r: p.r, phase: name, rule: ruleOf(attrs), start: Now()}
 }
 
 type observerSpan struct {
@@ -45,8 +44,7 @@ func ruleOf(attrs []Attr) string {
 }
 
 func (s observerSpan) StartSpan(phase string, attrs ...Attr) Span {
-	//lint:ignore detersafe span start time feeds metrics histograms, not discovery results
-	return observerSpan{r: s.r, phase: phase, rule: ruleOf(attrs), start: time.Now()}
+	return observerSpan{r: s.r, phase: phase, rule: ruleOf(attrs), start: Now()}
 }
 
 func (s observerSpan) Count(name string, delta int64) {
@@ -54,8 +52,7 @@ func (s observerSpan) Count(name string, delta int64) {
 }
 
 func (s observerSpan) End() {
-	//lint:ignore detersafe span duration feeds metrics histograms, not discovery results
-	secs := time.Since(s.start).Seconds()
+	secs := Since(s.start).Seconds()
 	s.r.Histogram("dime.phase."+s.phase+".seconds", nil).Observe(secs)
 	if s.rule != "" {
 		s.r.Histogram("dime.rule."+s.rule+"."+s.phase+".seconds", nil).Observe(secs)
@@ -82,8 +79,7 @@ func (p logProbe) StartRun(name string, attrs ...Attr) Span {
 }
 
 func (p logProbe) newSpan(name string, attrs []Attr) *logSpan {
-	//lint:ignore detersafe span start time feeds log records, not discovery results
-	s := &logSpan{p: p, name: name, start: time.Now()}
+	s := &logSpan{p: p, name: name, start: Now()}
 	for _, a := range attrs {
 		s.attrs = append(s.attrs, slog.String(a.Key, a.Value))
 	}
@@ -106,8 +102,7 @@ func (s *logSpan) Count(name string, delta int64) {
 }
 
 func (s *logSpan) End() {
-	//lint:ignore detersafe span duration feeds log records, not discovery results
-	attrs := append([]slog.Attr{slog.Duration("dur", time.Since(s.start))}, s.attrs...)
+	attrs := append([]slog.Attr{slog.Duration("dur", Since(s.start))}, s.attrs...)
 	s.p.l.LogAttrs(context.Background(), s.p.level, s.name, attrs...)
 }
 

@@ -9,17 +9,22 @@ import (
 )
 
 // DebugMux returns an http.ServeMux exposing the standard Go debug surface
-// plus this package's registry:
+// plus this package's registry and flight recorder:
 //
 //	/debug/pprof/   CPU, heap, goroutine, ... profiles (net/http/pprof)
-//	/debug/vars     expvar JSON (includes the registry once published)
-//	/metrics        the registry's sorted plaintext dump
+//	/debug/vars     expvar JSON (includes the registry snapshot with
+//	                per-histogram p50/p90/p99 once published)
+//	/debug/flight   flight-recorder dump: the most recent retained traces
+//	/metrics        Prometheus text exposition of the registry
 //	/               a plain index of the above
 //
-// A nil registry uses Default().
-func DebugMux(r *Registry) *http.ServeMux {
+// A nil registry uses Default(); a nil recorder uses DefaultFlight().
+func DebugMux(r *Registry, fr *FlightRecorder) *http.ServeMux {
 	if r == nil {
 		r = Default()
+	}
+	if fr == nil {
+		fr = DefaultFlight()
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -28,9 +33,16 @@ func DebugMux(r *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := fr.WriteJSON(w); err != nil {
+			// The connection died mid-dump; nothing useful left to do.
+			return
+		}
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if err := r.WriteText(w); err != nil {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
 			// The connection died mid-dump; nothing useful left to do.
 			return
 		}
@@ -42,9 +54,10 @@ func DebugMux(r *Registry) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "dime debug server")
-		fmt.Fprintln(w, "  /debug/pprof/  profiles")
-		fmt.Fprintln(w, "  /debug/vars    expvar JSON")
-		fmt.Fprintln(w, "  /metrics       metrics registry dump")
+		fmt.Fprintln(w, "  /debug/pprof/   profiles")
+		fmt.Fprintln(w, "  /debug/vars     expvar JSON (registry snapshot with quantiles)")
+		fmt.Fprintln(w, "  /debug/flight   flight-recorder dump (recent retained traces)")
+		fmt.Fprintln(w, "  /metrics        Prometheus text exposition")
 	})
 	return mux
 }
@@ -65,8 +78,8 @@ func (s *DebugServer) Close() error { return s.srv.Close() }
 // a background goroutine, so long batch and experiment runs can be profiled
 // live. It publishes the registry to expvar under "dime" first, so
 // /debug/vars carries the same numbers as /metrics. A nil registry uses
-// Default().
-func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+// Default(); a nil recorder uses DefaultFlight().
+func ServeDebug(addr string, r *Registry, fr *FlightRecorder) (*DebugServer, error) {
 	if r == nil {
 		r = Default()
 	}
@@ -75,7 +88,7 @@ func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug server: %w", err)
 	}
-	srv := &http.Server{Handler: DebugMux(r)}
+	srv := &http.Server{Handler: DebugMux(r, fr)}
 	go func() {
 		// Serve returns ErrServerClosed on Close; other errors have no
 		// receiver once we are detached.

@@ -13,7 +13,11 @@ import (
 func TestServeDebugEndpoints(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("dime.test.hits").Add(3)
-	srv, err := ServeDebug("127.0.0.1:0", r)
+	fr := NewFlightRecorder(FlightOptions{Capacity: 8})
+	s := fr.StartRun("debug-test-run")
+	s.Count("events", 2)
+	s.End()
+	srv, err := ServeDebug("127.0.0.1:0", r, fr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,8 +60,22 @@ func TestServeDebugEndpoints(t *testing.T) {
 	if fmt.Sprint(dime["dime.test.hits"]) != "3" {
 		t.Errorf("published counter = %v", dime["dime.test.hits"])
 	}
-	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "dime.test.hits 3") {
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "# TYPE dime_test_hits counter") ||
+		!strings.Contains(body, "dime_test_hits 3") {
 		t.Errorf("/metrics → %d, body %q", code, body)
+	}
+	code, body = get("/debug/flight")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flight → %d", code)
+	}
+	var export FlightExport
+	if err := json.Unmarshal([]byte(body), &export); err != nil {
+		t.Fatalf("/debug/flight is not JSON: %v", err)
+	}
+	if export.Tool != "dime-flight" || export.Kept != 1 || len(export.Traces) != 1 ||
+		export.Traces[0].Name != "debug-test-run" {
+		t.Errorf("/debug/flight export = %+v", export)
 	}
 	if code, body := get("/"); code != http.StatusOK || !strings.Contains(body, "dime debug server") {
 		t.Errorf("/ → %d, body %q", code, body)
@@ -68,7 +86,7 @@ func TestServeDebugEndpoints(t *testing.T) {
 }
 
 func TestServeDebugBadAddr(t *testing.T) {
-	if _, err := ServeDebug("256.256.256.256:99999", NewRegistry()); err == nil {
+	if _, err := ServeDebug("256.256.256.256:99999", NewRegistry(), nil); err == nil {
 		t.Fatal("expected listen error")
 	}
 }

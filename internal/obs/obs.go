@@ -12,16 +12,23 @@
 // no-op span, so an uninstrumented run pays a nil check per phase boundary
 // and nothing per pair.
 //
-// Three probe implementations ship here:
+// Four probe implementations ship here:
 //
 //   - Trace records a span tree with monotonic timings, exportable as JSON
 //     (`dime -trace out.json`) and diffable across commits;
 //   - Observer feeds span durations and counters into a Registry of
-//     counters, gauges and fixed-bucket latency histograms, exported via
-//     expvar and the /metrics endpoint of ServeDebug;
+//     counters, gauges and fixed-bucket latency histograms with
+//     interpolated p50/p90/p99 quantiles, exported via expvar and in
+//     Prometheus text format at the /metrics endpoint of ServeDebug;
+//   - FlightRecorder keeps the most recent slow runs in a sharded
+//     lock-free ring with tail-based retention (dumped at /debug/flight
+//     and by `dime -flight-out`), optionally attributing heap-allocation
+//     deltas to every span;
 //   - Logged emits one slog record per completed span.
 //
-// Multi fans a run out to several probes at once.
+// Multi fans a run out to several probes at once. All wall-clock and
+// runtime-counter reads in the module go through clock.go's Now/Since and
+// HeapCounters, the single detersafe-absorbed nondeterminism point.
 package obs
 
 // Phase names used by the discovery pipeline. Core opens exactly these spans
@@ -48,8 +55,8 @@ const (
 
 // Attr is one key=value annotation on a span (group name, rule name, ...).
 type Attr struct {
-	Key   string
-	Value string
+	Key   string `json:"key"`
+	Value string `json:"value"`
 }
 
 // A builds an Attr.

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus dumps the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` header per metric, counters and
+// gauges as single samples, histograms as cumulative `_bucket{le="..."}`
+// series plus `_sum` and `_count`. This is what /metrics serves, so any
+// Prometheus-compatible scraper (Prometheus, VictoriaMetrics, Grafana
+// Agent, promtool) can ingest a running batch directly.
+//
+// Registry names use dots, dashes and slashes ("dime.phase.candidate-gen
+// .seconds", "dime.positive-verify.verified/phi-1"); Prometheus metric
+// names admit only [a-zA-Z0-9_:], so every other rune becomes an
+// underscore and a leading digit gains one. Distinct registry names that
+// sanitize to the same metric name are disambiguated with a _2/_3 suffix
+// in sorted-name order, keeping the exposition valid and deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := make([]named[*Counter], 0, len(r.counters))
+	for name, c := range r.counters {
+		counters = append(counters, named[*Counter]{name, c})
+	}
+	gauges := make([]named[*Gauge], 0, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges = append(gauges, named[*Gauge]{name, g})
+	}
+	hists := make([]named[*Histogram], 0, len(r.hists))
+	for name, h := range r.hists {
+		hists = append(hists, named[*Histogram]{name, h})
+	}
+	r.mu.Unlock()
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	// One claim table across all three kinds: a counter and a gauge whose
+	// raw names collide after sanitization must still expose distinct
+	// metric names.
+	taken := make(map[string]bool, len(counters)+len(gauges)+len(hists))
+	claim := func(raw string) string {
+		name := promName(raw)
+		if !taken[name] {
+			taken[name] = true
+			return name
+		}
+		for n := 2; ; n++ {
+			alt := fmt.Sprintf("%s_%d", name, n)
+			if !taken[alt] {
+				taken[alt] = true
+				return alt
+			}
+		}
+	}
+
+	for _, c := range counters {
+		name := claim(c.name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.v.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range gauges {
+		name := claim(g.name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(g.v.Value())); err != nil {
+			return err
+		}
+	}
+	for _, hs := range hists {
+		name := claim(hs.name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		bounds, counts := hs.v.Buckets()
+		cum := int64(0)
+		for i, n := range counts {
+			cum += n
+			le := "+Inf"
+			if i < len(bounds) {
+				le = promFloat(bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(hs.v.Sum()), name, hs.v.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName sanitizes a registry name into a valid Prometheus metric name:
+// runes outside [a-zA-Z0-9_:] become underscores, and a leading digit is
+// prefixed with one.
+func promName(raw string) string {
+	var b strings.Builder
+	b.Grow(len(raw) + 1)
+	for i, r := range raw {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promFloat renders a float sample value in the shortest exact form.
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -76,6 +76,18 @@ var LatencyBuckets = []float64{
 	1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
 }
 
+// NewHistogram returns a standalone histogram (not attached to a registry)
+// over the given bucket upper bounds; nil or empty bounds fall back to
+// LatencyBuckets. The bounds are copied and sorted ascending.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	idx := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v; len(bounds) = overflow
@@ -105,6 +117,104 @@ func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
 		counts[i] = h.counts[i].Load()
 	}
 	return bounds, counts
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed values by
+// linear interpolation inside the bucket holding the target rank — the same
+// estimate Prometheus's histogram_quantile computes, so dashboards and this
+// method agree. Guarantees and edge cases:
+//
+//   - an empty histogram returns 0;
+//   - q is clamped to [0, 1];
+//   - within a finite bucket the true quantile lies in (lower, upper], and
+//     the estimate is bounded by the same interval;
+//   - rank mass landing in the overflow (+Inf) bucket returns the highest
+//     finite bound — the estimate saturates rather than inventing a value.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1 // the quantile of the smallest observation lives in its bucket
+	}
+	cum := int64(0)
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) {
+				// Overflow bucket: no finite upper bound to interpolate to.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			} else if h.bounds[0] < 0 {
+				lower = h.bounds[0] // all-negative grids have no natural zero floor
+			}
+			upper := h.bounds[i]
+			return lower + (upper-lower)*((rank-float64(cum))/float64(n))
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// LatencySummary is a compact histogram view: observation count, value sum
+// and the interpolated p50/p90/p99 quantiles. The zero value means "no
+// observations".
+type LatencySummary struct {
+	// Count is the number of observations.
+	Count int64
+	// Sum is the sum of observed values.
+	Sum float64
+	// P50, P90 and P99 are Quantile(0.5/0.9/0.99) estimates (0 when empty).
+	P50, P90, P99 float64
+}
+
+// Summary snapshots the histogram into a LatencySummary.
+func (h *Histogram) Summary() LatencySummary {
+	return LatencySummary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// NamedSummary pairs a histogram name with its summary for sorted listings.
+type NamedSummary struct {
+	Name string
+	LatencySummary
+}
+
+// HistogramSummaries returns every registered histogram's summary, sorted by
+// name — the deterministic listing `dime -stats` renders.
+func (r *Registry) HistogramSummaries() []NamedSummary {
+	r.mu.Lock()
+	hists := make([]named[*Histogram], 0, len(r.hists))
+	for name, h := range r.hists {
+		hists = append(hists, named[*Histogram]{name, h})
+	}
+	r.mu.Unlock()
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	out := make([]NamedSummary, len(hists))
+	for i, nh := range hists {
+		out[i] = NamedSummary{Name: nh.name, LatencySummary: nh.v.Summary()}
+	}
+	return out
 }
 
 // Counter returns (creating on first use) the named counter.
@@ -151,8 +261,11 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 }
 
 // Snapshot returns a flat name → value view: counters as int64, gauges as
-// float64, histograms as {count, sum, buckets} maps. This is what expvar
-// publishes.
+// float64, histograms as {count, sum, p50, p90, p99, buckets} maps. This is
+// what expvar publishes. Marshaling the snapshot is deterministic for a
+// fixed registry state: encoding/json sorts map keys, quantiles are
+// interpolated (never NaN — empty histograms report 0), and repeated calls
+// over an idle registry yield byte-identical JSON.
 func (r *Registry) Snapshot() map[string]any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -173,7 +286,11 @@ func (r *Registry) Snapshot() map[string]any {
 			}
 			buckets[le] = n
 		}
-		out[name] = map[string]any{"count": h.Count(), "sum": h.Sum(), "buckets": buckets}
+		out[name] = map[string]any{
+			"count": h.Count(), "sum": h.Sum(),
+			"p50": h.Quantile(0.50), "p90": h.Quantile(0.90), "p99": h.Quantile(0.99),
+			"buckets": buckets,
+		}
 	}
 	return out
 }

@@ -20,7 +20,7 @@ type Trace struct {
 }
 
 // NewTrace returns an empty trace whose span offsets are measured from now.
-func NewTrace() *Trace { return &Trace{base: time.Now()} }
+func NewTrace() *Trace { return &Trace{base: Now()} }
 
 // TraceSpan is one recorded span. StartNS is the monotonic offset from trace
 // creation; DurNS is the span duration. Both are nanoseconds.
@@ -74,8 +74,7 @@ func (t *Trace) StartRun(name string, attrs ...Attr) Span {
 }
 
 func (t *Trace) newSpan(parent *TraceSpan, name string, attrs []Attr) Span {
-	//lint:ignore detersafe span start time feeds the trace dump, not discovery results
-	now := time.Now()
+	now := Now()
 	node := &TraceSpan{Name: name, StartNS: now.Sub(t.base).Nanoseconds()}
 	if len(attrs) > 0 {
 		node.Attrs = make(map[string]string, len(attrs))
@@ -119,8 +118,7 @@ func (s *traceSpan) End() {
 	}
 	s.ended = true
 	s.t.mu.Lock()
-	//lint:ignore detersafe span duration feeds the trace dump, not discovery results
-	s.node.DurNS = time.Since(s.start).Nanoseconds()
+	s.node.DurNS = Since(s.start).Nanoseconds()
 	s.t.mu.Unlock()
 }
 

@@ -41,6 +41,13 @@ go test -run=NONE -fuzz=FuzzDiffDIMEPlus -fuzztime="${FUZZTIME}" .
 if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
     echo "== bench snapshot (CHECK_BENCH=1)"
     ./scripts/bench.sh
+    # The snapshot bench.sh just appended to BENCH_history.jsonl becomes the
+    # newest trend entry: compare it against the median of the preceding runs
+    # so a slow creep that never trips the single-diff gate still fails here.
+    if [[ "${BENCH_ALLOW_REGRESS:-0}" != "1" && -s BENCH_history.jsonl ]]; then
+        echo "== bench trend (vs BENCH_history.jsonl median)"
+        go run ./cmd/benchjson -trend -history BENCH_history.jsonl -gate "${BENCH_GATE:-BenchmarkDIMEPlus}"
+    fi
 fi
 
 echo "check: all gates passed"
