@@ -1,12 +1,20 @@
 GO ?= go
 
-.PHONY: build test lint alloc-report check bench trend
+.PHONY: build test serve-test lint alloc-report check bench trend
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# The serving layer's gates in isolation: the HTTP conformance suite at the
+# repo root (in-process ≡ over-HTTP byte-identity at several worker counts),
+# plus the endpoint golden, backpressure, shutdown and stress tests — all
+# race-enabled. `make check` covers these too via its full -race run.
+serve-test:
+	$(GO) test -race -run TestDifferentialServeHTTP .
+	$(GO) test -race ./internal/serve/ ./cmd/dimed/
 
 # Static analysis with the checked-in baseline and allocation budget: fails
 # only on findings not recorded in lint.baseline.json (kept empty — fix or

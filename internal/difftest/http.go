@@ -1,0 +1,231 @@
+package difftest
+
+// HTTP-backed differential runner: a Case executed end-to-end against a
+// live dimed-style server (internal/serve) instead of in-process calls. The
+// harness ingests the case group over the wire, triggers discovery jobs at
+// several IntraWorkers settings, fetches the results back over HTTP and
+// demands byte-identity with an in-process DIME+ run on the same group —
+// partitions, pivot, levels, witnesses and Stats — extending the repo's
+// determinism invariant across the serialization and service boundary. The
+// scrollbar and witness endpoints are cross-checked against the same
+// reference result.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+
+	"dime/internal/core"
+	"dime/internal/serve"
+)
+
+// ServeTarget is a live server to run cases against. Svc registers
+// per-case profiles (configs carry node-mapper functions, which do not
+// serialize, so registration is programmatic); BaseURL/Client reach its
+// HTTP surface.
+type ServeTarget struct {
+	Svc     *serve.Service
+	BaseURL string
+	Client  *http.Client
+}
+
+// NewServeTarget starts an httptest server over a fresh serve.Service and
+// returns the target plus its closer. Jobs wait synchronously via
+// ?wait=true, so a small pool suffices.
+func NewServeTarget(opts serve.Options) (ServeTarget, func()) {
+	svc := serve.NewService(opts)
+	ts := httptest.NewServer(serve.Handler(svc))
+	return ServeTarget{Svc: svc, BaseURL: ts.URL, Client: ts.Client()}, ts.Close
+}
+
+// CheckServe runs the case through DiffServe and fails the test with the
+// case name and seed on the first divergence.
+func CheckServe(t TB, tgt ServeTarget, c Case, workers ...int) {
+	t.Helper()
+	if err := c.DiffServe(tgt, workers...); err != nil {
+		t.Fatalf("case %s (seed %d): %v", c.Name, c.Seed, err)
+	}
+}
+
+// DiffServe executes the case against the target server: it registers the
+// case profile, creates a corpus named after the case, ingests the group's
+// entities over HTTP, and for every workers entry runs one discover →
+// wait → results round trip, requiring the decoded result to be exactly —
+// stats and witnesses included — the in-process sequential DIME+ result.
+// The scrollbar (deepest level) and witness endpoints are checked against
+// the same reference. The corpus is deleted before returning so a long
+// corpus sweep holds one corpus at a time.
+func (c Case) DiffServe(tgt ServeTarget, workers ...int) error {
+	want, err := core.DIMEPlus(c.Group, core.Options{
+		Config: c.Config, Rules: c.Rules, IntraWorkers: 1, Probe: c.Probe,
+	})
+	if err != nil {
+		return fmt.Errorf("DIME+(in-process): %w", err)
+	}
+
+	profile := "case-" + c.Name
+	if err := tgt.Svc.RegisterProfile(profile, serve.Profile{Config: c.Config, Rules: c.Rules}); err != nil {
+		return err
+	}
+	if err := tgt.postJSON("/v1/corpora", serve.CreateCorpusRequest{
+		ID: c.Name, Profile: profile, Name: c.Group.Name,
+	}, http.StatusCreated, nil); err != nil {
+		return fmt.Errorf("create corpus: %w", err)
+	}
+	ingest := serve.IngestRequest{}
+	for _, e := range c.Group.Entities {
+		ingest.Entities = append(ingest.Entities, serve.EntityJSON{ID: e.ID, Values: e.Values})
+	}
+	var ingested serve.IngestResponse
+	if err := tgt.postJSON("/v1/corpora/"+c.Name+"/entities", ingest, http.StatusOK, &ingested); err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	if ingested.Size != len(c.Group.Entities) {
+		return fmt.Errorf("ingest: size %d, want %d", ingested.Size, len(c.Group.Entities))
+	}
+
+	for _, w := range workers {
+		if err := c.diffServeOnce(tgt, want, w); err != nil {
+			return fmt.Errorf("workers=%d: %w", w, err)
+		}
+	}
+	if err := c.checkScrollbarAndWitnesses(tgt, want); err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodDelete, tgt.BaseURL+"/v1/corpora/"+c.Name, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := tgt.Client.Do(req)
+	if err != nil {
+		return fmt.Errorf("delete corpus: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("delete corpus: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// diffServeOnce runs one discover→wait→results round trip and compares.
+func (c Case) diffServeOnce(tgt ServeTarget, want *core.Result, workers int) error {
+	var job serve.JobJSON
+	if err := tgt.postJSON("/v1/corpora/"+c.Name+"/discover",
+		serve.DiscoverRequest{IntraWorkers: workers}, http.StatusAccepted, &job); err != nil {
+		return fmt.Errorf("discover: %w", err)
+	}
+	var status serve.JobJSON
+	if err := tgt.getJSON("/v1/corpora/"+c.Name+"/status/"+job.Job+"?wait=true", &status); err != nil {
+		return fmt.Errorf("status: %w", err)
+	}
+	if status.State != serve.JobDone {
+		return fmt.Errorf("job %s finished %q (error %q)", job.Job, status.State, status.Error)
+	}
+	var wire serve.ResultJSON
+	if err := tgt.getJSON("/v1/corpora/"+c.Name+"/results/"+job.Job, &wire); err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	got, err := wire.Core(c.Group)
+	if err != nil {
+		return err
+	}
+	if err := exactDiff(want, got); err != nil {
+		return fmt.Errorf("in-process vs over-HTTP: %w", err)
+	}
+	return nil
+}
+
+// checkScrollbarAndWitnesses cross-checks the query endpoints against the
+// reference result.
+func (c Case) checkScrollbarAndWitnesses(tgt ServeTarget, want *core.Result) error {
+	deepest := len(want.Levels) - 1
+	if deepest < 0 {
+		return nil
+	}
+	var sb serve.ScrollbarJSON
+	if err := tgt.getJSON(fmt.Sprintf("/v1/corpora/%s/scrollbar/%d", c.Name, deepest), &sb); err != nil {
+		return fmt.Errorf("scrollbar: %w", err)
+	}
+	lv := want.Levels[deepest]
+	if sb.Rule != lv.RuleName || !equalStrings(sb.EntityIDs, lv.EntityIDs) || !equalInts(sb.PartitionIndexes, lv.PartitionIndexes) {
+		return fmt.Errorf("scrollbar level %d diverged:\n  got  %+v\n  want %+v", deepest, sb, lv)
+	}
+	for _, pi := range markedOf(want) {
+		var wr serve.WitnessReportJSON
+		if err := tgt.getJSON(fmt.Sprintf("/v1/corpora/%s/witnesses/%d", c.Name, pi), &wr); err != nil {
+			return fmt.Errorf("witnesses/%d: %w", pi, err)
+		}
+		w := want.Witnesses[pi]
+		if !wr.Marked || wr.Witness == nil ||
+			wr.Witness.Rule != w.Rule || wr.Witness.EntityID != w.EntityID || wr.Witness.PivotID != w.PivotID {
+			return fmt.Errorf("witness for partition %d diverged: got %+v, want %+v", pi, wr, w)
+		}
+	}
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// postJSON posts body and decodes the response into out (when non-nil),
+// failing on an unexpected status.
+func (tgt ServeTarget) postJSON(path string, body any, wantStatus int, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := tgt.Client.Post(tgt.BaseURL+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, wantStatus, out)
+}
+
+// getJSON fetches path expecting 200.
+func (tgt ServeTarget) getJSON(path string, out any) error {
+	resp, err := tgt.Client.Get(tgt.BaseURL + path)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, http.StatusOK, out)
+}
+
+// decodeResponse enforces the status and decodes the body.
+func decodeResponse(resp *http.Response, wantStatus int, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("status %d (want %d): %s", resp.StatusCode, wantStatus, bytes.TrimSpace(raw))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	return nil
+}

@@ -28,7 +28,10 @@ import (
 //     deterministic so divergences reproduce;
 //   - internal/datagen, internal/presets: the seeded corpora the
 //     differential harness compares over — a derivation catch the
-//     hand-maintained list had missed.
+//     hand-maintained list had missed;
+//   - internal/serve: the HTTP JSON API bodies (corpus listings, scrollbar
+//     levels, witness reports), whose encoding order clients see — reachable
+//     from the difftest entry points via the HTTP-backed runner.
 var DefaultResultPackages = []string{
 	"internal/analysis",
 	"internal/core",
@@ -41,6 +44,7 @@ var DefaultResultPackages = []string{
 	"internal/presets",
 	"internal/rulegen",
 	"internal/rules",
+	"internal/serve",
 	"internal/signature",
 	"internal/sim",
 	"internal/tokenize",

@@ -8,25 +8,40 @@ import (
 	"net/http/pprof"
 )
 
-// DebugMux returns an http.ServeMux exposing the standard Go debug surface
-// plus this package's registry and flight recorder:
+// DebugRoutes lists the route patterns RegisterDebug mounts. Every server
+// that embeds the debug surface (obs.ServeDebug, internal/serve) mounts
+// exactly these paths through RegisterDebug, so a parity test can assert the
+// surfaces cannot drift apart.
+func DebugRoutes() []string {
+	return []string{
+		"/debug/pprof/",
+		"/debug/vars",
+		"/debug/flight",
+		"/metrics",
+	}
+}
+
+// RegisterDebug mounts the debug surface onto an existing mux:
 //
 //	/debug/pprof/   CPU, heap, goroutine, ... profiles (net/http/pprof)
 //	/debug/vars     expvar JSON (includes the registry snapshot with
 //	                per-histogram p50/p90/p99 once published)
 //	/debug/flight   flight-recorder dump: the most recent retained traces
 //	/metrics        Prometheus text exposition of the registry
-//	/               a plain index of the above
 //
-// A nil registry uses Default(); a nil recorder uses DefaultFlight().
-func DebugMux(r *Registry, fr *FlightRecorder) *http.ServeMux {
+// It is the single construction path for these routes — DebugMux and any
+// API server wanting the same surface call it — and it publishes the
+// registry to expvar under "dime" so /debug/vars carries the same numbers
+// as /metrics. A nil registry uses Default(); a nil recorder uses
+// DefaultFlight().
+func RegisterDebug(mux *http.ServeMux, r *Registry, fr *FlightRecorder) {
 	if r == nil {
 		r = Default()
 	}
 	if fr == nil {
 		fr = DefaultFlight()
 	}
-	mux := http.NewServeMux()
+	r.PublishExpvar("dime")
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -47,6 +62,14 @@ func DebugMux(r *Registry, fr *FlightRecorder) *http.ServeMux {
 			return
 		}
 	})
+}
+
+// DebugMux returns an http.ServeMux exposing the RegisterDebug surface plus
+// a plain index at /. A nil registry uses Default(); a nil recorder uses
+// DefaultFlight().
+func DebugMux(r *Registry, fr *FlightRecorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	RegisterDebug(mux, r, fr)
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Pool errors returned by Submit; handlers map them to 429 and 503.
+var (
+	// ErrQueueFull reports that the bounded job queue is at capacity —
+	// backpressure, the caller should retry later.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining reports that the pool stopped accepting work because
+	// shutdown began.
+	ErrDraining = errors.New("serve: draining, not accepting new jobs")
+)
+
+// Pool runs submitted tasks on a fixed set of worker goroutines with a
+// bounded queue. Submit never blocks: when every worker is busy and the
+// queue is full it fails fast with ErrQueueFull so the HTTP layer can
+// translate load into 429 instead of unbounded buffering. Drain stops
+// intake and waits for queued and running tasks to finish — the graceful
+// half of shutdown.
+type Pool struct {
+	queue chan func()
+
+	mu       sync.Mutex
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// NewPool starts workers goroutines consuming a queue of depth queueDepth.
+// workers < 1 is clamped to 1; queueDepth < 0 is clamped to 0 (a zero-depth
+// queue accepts a task only when a worker is idle and ready to receive it).
+func NewPool(workers, queueDepth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	p := &Pool{queue: make(chan func(), queueDepth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.queue {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues fn without blocking. It returns ErrDraining after Drain
+// began and ErrQueueFull when the queue is at capacity.
+//
+// With a zero-depth queue, a task is accepted only while an idle worker is
+// already receiving; to avoid a thundering-herd race where an idle pool
+// still rejects (the worker has not yet reached its receive), zero-depth
+// pools are only constructed in tests.
+func (p *Pool) Submit(fn func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		return ErrDraining
+	}
+	select {
+	case p.queue <- fn:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Drain stops intake and waits for every queued and running task to finish,
+// or for ctx to expire. It is idempotent; later Submits fail with
+// ErrDraining either way.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.mu.Lock()
+	already := p.draining
+	p.draining = true
+	p.mu.Unlock()
+	if !already {
+		// No sender can be in flight: Submit sends while holding p.mu and
+		// checks draining first, so closing here is safe.
+		close(p.queue)
+	}
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

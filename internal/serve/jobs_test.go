@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsSubmittedTasks(t *testing.T) {
+	p := NewPool(2, 8)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		// Backpressure is expected when the loop outruns the workers; retry
+		// as an HTTP client would on 429.
+		for {
+			err := p.Submit(func() { ran.Add(1); wg.Done() })
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+		}
+	}
+	wg.Wait()
+	if got := ran.Load(); got != 20 {
+		t.Fatalf("ran %d tasks, want 20", got)
+	}
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestPoolQueueFull(t *testing.T) {
+	p := NewPool(1, 1)
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	// Occupy the single worker...
+	if err := p.Submit(func() { close(entered); <-release }); err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	<-entered
+	// ...fill the queue...
+	if err := p.Submit(func() {}); err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+	// ...and the next submit must fail fast, not block.
+	if err := p.Submit(func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit on full queue: %v, want ErrQueueFull", err)
+	}
+	close(release)
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestPoolDrainWaitsForQueuedAndRunning(t *testing.T) {
+	p := NewPool(1, 4)
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var ran atomic.Int64
+	if err := p.Submit(func() { close(entered); <-release; ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	for i := 0; i < 3; i++ {
+		if err := p.Submit(func() { ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Flip the pool into draining without waiting (dead context); Drain is
+	// idempotent, so the real wait happens below.
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Drain(dead); !errors.Is(err, context.Canceled) {
+		t.Fatalf("drain with dead context: %v", err)
+	}
+	// Submissions fail immediately once draining, even while the worker is
+	// still blocked.
+	if err := p.Submit(func() {}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining: %v, want ErrDraining", err)
+	}
+	close(release)
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("drain finished with %d/4 tasks run", got)
+	}
+}
+
+func TestPoolDrainContextExpiry(t *testing.T) {
+	p := NewPool(1, 0)
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	// A zero-depth queue only accepts once the worker is parked on its
+	// receive; retry until it is.
+	for {
+		err := p.Submit(func() { close(entered); <-release })
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("submit blocker: %v", err)
+		}
+	}
+	<-entered
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Drain(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("drain with dead context: %v, want context.Canceled", err)
+	}
+	// A later unbounded drain still completes once the worker is released.
+	close(release)
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+func TestPoolClampsDegenerateSizes(t *testing.T) {
+	p := NewPool(0, -5)
+	done := make(chan struct{})
+	// A zero-depth queue still accepts work once its (single, clamped)
+	// worker is parked on the channel receive.
+	for {
+		err := p.Submit(func() { close(done) })
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	<-done
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

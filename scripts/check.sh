@@ -8,7 +8,13 @@
 # The race-enabled suite includes the differential harness at the repo root
 # (dime_difftest_test.go), which runs DIME+ with IntraWorkers of 2 and 4 over
 # a couple hundred generated groups — that is the gate proving the parallel
-# path both data-race-free and byte-identical to the sequential one.
+# path both data-race-free and byte-identical to the sequential one. It also
+# includes the serving-layer conformance suite (dime_serve_difftest_test.go),
+# which replays the same corpus through the internal/serve HTTP API and
+# demands byte-identity with the in-process results, plus the endpoint
+# golden, backpressure, graceful-shutdown and concurrent-clients stress
+# tests under internal/serve and cmd/dimed (`make serve-test` runs just
+# those).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
