@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test serve-test lint alloc-report check bench trend
+.PHONY: build test serve-test chaos-test lint alloc-report check bench trend
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,16 @@ test:
 serve-test:
 	$(GO) test -race -run TestDifferentialServeHTTP .
 	$(GO) test -race ./internal/serve/ ./cmd/dimed/
+
+# The resilience gate: the chaos differential suite (the 210-group corpus
+# replayed through a fault-injected server with the resilient client at
+# three chaos seeds, demanding byte-identical results, zero duplicated jobs
+# and zero client-visible failures) plus the fault-injector and client unit
+# tests — all race-enabled. `make check` covers these too via its full
+# -race run.
+chaos-test:
+	$(GO) test -race -run TestDifferentialChaosHTTP .
+	$(GO) test -race ./internal/fault/ ./internal/client/
 
 # Static analysis with the checked-in baseline and allocation budget: fails
 # only on findings not recorded in lint.baseline.json (kept empty — fix or

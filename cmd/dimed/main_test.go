@@ -130,3 +130,81 @@ func TestRunServesAndShutsDownGracefully(t *testing.T) {
 		t.Errorf("stderr missing drain confirmation: %q", errb.String())
 	}
 }
+
+// TestRunChaosFlags boots dimed with -chaos at rate 1 and per-rule budget 1,
+// which makes the fault schedule fully deterministic: the first GET is
+// refused with an injected 503, the second dies to a connection reset, the
+// third arrives truncated, and the fourth — every budget exhausted — is
+// served cleanly. The server then drains and exits 0 as usual.
+func TestRunChaosFlags(t *testing.T) {
+	sigc := make(chan chan<- os.Signal, 1)
+	orig := notifySignals
+	notifySignals = func(ch chan<- os.Signal) { sigc <- ch }
+	defer func() { notifySignals = orig }()
+
+	var out, errb syncBuffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-chaos", "-chaos-rate", "1", "-chaos-budget", "1", "-chaos-latency", "1ms",
+		}, &out, &errb)
+	}()
+	ch := <-sigc
+	if !strings.Contains(errb.String(), "CHAOS fault injection enabled") {
+		t.Fatalf("stderr missing chaos banner: %q", errb.String())
+	}
+	m := servingLine.FindStringSubmatch(errb.String())
+	if m == nil {
+		t.Fatalf("no serving line on stderr: %q", errb.String())
+	}
+	base := "http://" + m[1]
+	// Fresh connection per request so the injected reset cannot poison a
+	// pooled connection for the following request.
+	hc := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+
+	// 1: injected 503 (latency and refuse-503 budgets burn together).
+	resp, err := hc.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("request 1: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(raw), "fault: injected 503") {
+		t.Fatalf("request 1: status %d body %q, want injected 503", resp.StatusCode, raw)
+	}
+	// 2: injected connection reset — a transport error, no response.
+	if resp, err := hc.Get(base + "/healthz"); err == nil {
+		resp.Body.Close()
+		t.Fatalf("request 2: got status %d, want a connection reset", resp.StatusCode)
+	}
+	// 3: truncated body — the read fails mid-stream.
+	resp, err = hc.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("request 3: %v", err)
+	}
+	if _, err := io.ReadAll(resp.Body); err == nil {
+		t.Fatal("request 3: body read completed, want truncation")
+	}
+	resp.Body.Close()
+	// 4: all budgets exhausted — served cleanly.
+	resp, err = hc.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("request 4: %v", err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), "ok") {
+		t.Fatalf("request 4: status %d body %q, want clean 200", resp.StatusCode, raw)
+	}
+
+	ch <- os.Interrupt
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit %d, want 0; stderr %q", code, errb.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not exit after signal")
+	}
+}

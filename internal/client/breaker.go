@@ -1,0 +1,165 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dime/internal/obs"
+)
+
+// ErrBreakerOpen reports that the circuit breaker is rejecting calls while
+// its cooldown runs. Callers that can wait should retry after the cooldown;
+// the Client's retry loop treats it as a retryable condition.
+var ErrBreakerOpen = errors.New("client: circuit breaker open")
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+// BreakerOptions configures a circuit breaker.
+type BreakerOptions struct {
+	// Threshold is the consecutive-failure count that opens the breaker.
+	// 0 uses 8; negative disables the breaker entirely.
+	Threshold int
+	// Cooldown is how long the breaker stays open before letting one
+	// half-open probe through. 0 uses 1s.
+	Cooldown time.Duration
+	// Now injects the clock (tests); nil uses obs.Now, the module's single
+	// absorbed wall-clock read.
+	Now func() time.Time
+}
+
+// Breaker is a closed → open → half-open circuit breaker over consecutive
+// failures. Closed passes everything and counts consecutive failures; at
+// Threshold it opens and rejects with ErrBreakerOpen until Cooldown passes;
+// then one half-open probe is allowed — its success closes the breaker, its
+// failure reopens it (and restarts the cooldown).
+type Breaker struct {
+	mu       sync.Mutex
+	opts     BreakerOptions
+	state    int
+	fails    int
+	openedAt time.Time
+	probing  bool
+
+	opened *obs.Counter // cumulative open transitions
+	gauge  *obs.Gauge   // current state: 0 closed, 1 half-open, 2 open
+}
+
+// newBreaker builds a breaker, registering its metrics in reg when non-nil.
+func newBreaker(opts BreakerOptions, reg *obs.Registry) *Breaker {
+	if opts.Threshold == 0 {
+		opts.Threshold = 8
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = time.Second
+	}
+	if opts.Now == nil {
+		opts.Now = obs.Now
+	}
+	b := &Breaker{opts: opts}
+	if reg != nil {
+		b.opened = reg.Counter("dime.client.breaker.opened")
+		b.gauge = reg.Gauge("dime.client.breaker.state")
+	}
+	return b
+}
+
+// Allow reports whether a call may proceed. In the open state it fails with
+// ErrBreakerOpen until the cooldown elapses, at which point exactly one
+// caller is admitted as the half-open probe.
+func (b *Breaker) Allow() error {
+	if b.opts.Threshold < 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if b.opts.Now().Sub(b.openedAt) < b.opts.Cooldown {
+			return fmt.Errorf("%w (cooldown %v)", ErrBreakerOpen, b.opts.Cooldown)
+		}
+		b.setState(breakerHalfOpen)
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return fmt.Errorf("%w (half-open probe in flight)", ErrBreakerOpen)
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Success records a successful call: the breaker closes and the consecutive
+// failure count resets.
+func (b *Breaker) Success() {
+	if b.opts.Threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	b.setState(breakerClosed)
+}
+
+// Failure records a failed call: a failed half-open probe reopens the
+// breaker immediately; in the closed state the Threshold-th consecutive
+// failure opens it.
+func (b *Breaker) Failure() {
+	if b.opts.Threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.probing = false
+		b.open()
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.opts.Threshold {
+			b.open()
+		}
+	}
+}
+
+// State returns the current state as a string (tests, debugging).
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// open transitions to the open state; callers hold b.mu.
+func (b *Breaker) open() {
+	b.openedAt = b.opts.Now()
+	b.fails = 0
+	b.setState(breakerOpen)
+	if b.opened != nil {
+		b.opened.Add(1)
+	}
+}
+
+// setState stores the state and mirrors it into the gauge; callers hold b.mu.
+func (b *Breaker) setState(state int) {
+	b.state = state
+	if b.gauge != nil {
+		b.gauge.Set(float64(state))
+	}
+}

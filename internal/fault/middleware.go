@@ -1,0 +1,112 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// Middleware wraps next with server-side fault injection. Per request it
+// asks the injector's rules what to do:
+//
+//   - injected latency sleeps before anything else (bounded by the request
+//     context, so canceled clients are not held);
+//   - a status fault answers Rule.Status with an ErrorJSON-shaped body
+//     WITHOUT invoking next — the handler observably never ran, so a client
+//     may retry such a response regardless of method;
+//   - a reset fault hijacks and closes the connection mid-request (clients
+//     see EOF / connection reset). Handlers are not invoked. When the
+//     ResponseWriter cannot hijack (e.g. HTTP/2), it degrades to a plain 500;
+//   - a truncate fault runs next against a buffer, then relays the response
+//     with the full Content-Length but only half the body — readers get
+//     io.ErrUnexpectedEOF. The handler HAS run; only idempotent (or
+//     idempotency-keyed) requests can safely retry.
+func (inj *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		latency, primary := inj.decide(req.Method, req.URL.Path)
+		sleepCtx(req.Context().Done(), latency)
+		if primary == nil {
+			next.ServeHTTP(w, req)
+			return
+		}
+		switch r := primary.rule; r.Kind {
+		case KindStatus:
+			if r.RetryAfter != "" {
+				w.Header().Set("Retry-After", r.RetryAfter)
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.WriteHeader(r.Status)
+			fmt.Fprintf(w, "{\n  \"error\": \"fault: injected %d (rule %s)\"\n}\n", r.Status, r.Name)
+		case KindReset:
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				w.WriteHeader(http.StatusInternalServerError)
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				w.WriteHeader(http.StatusInternalServerError)
+				return
+			}
+			// Closing without writing a response: the client's read fails
+			// with EOF / connection reset.
+			_ = conn.Close()
+		case KindTruncate:
+			rec := &recorder{header: make(http.Header)}
+			next.ServeHTTP(rec, req)
+			relayTruncated(w, rec)
+		default:
+			next.ServeHTTP(w, req)
+		}
+	})
+}
+
+// recorder buffers a handler's response so the middleware can replay a
+// truncated version of it.
+type recorder struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+
+func (r *recorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.body.Write(p)
+}
+
+// relayTruncated forwards the recorded response declaring its full length
+// but writing only the first half of the body. net/http notices the short
+// write when the handler returns and closes the connection, so the client's
+// body read ends in io.ErrUnexpectedEOF instead of a clean EOF.
+func relayTruncated(w http.ResponseWriter, rec *recorder) {
+	keys := make([]string, 0, len(rec.header))
+	for k := range rec.header {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, v := range rec.header[k] {
+			w.Header().Add(k, v)
+		}
+	}
+	full := rec.body.Bytes()
+	w.Header().Set("Content-Length", strconv.Itoa(len(full)))
+	code := rec.code
+	if code == 0 {
+		code = http.StatusOK
+	}
+	w.WriteHeader(code)
+	_, _ = w.Write(full[:len(full)/2])
+}

@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+)
+
+// Transport wraps base (nil means http.DefaultTransport) with client-side
+// fault injection. Per request:
+//
+//   - injected latency sleeps before the request leaves (bounded by the
+//     request context);
+//   - a status fault synthesizes the response locally — the request never
+//     reaches the network, so retrying is always safe;
+//   - a reset fault returns a connection-reset error without sending;
+//   - a truncate fault performs the real round trip but wraps the response
+//     body so it ends in io.ErrUnexpectedEOF halfway through.
+func (inj *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{inj: inj, base: base}
+}
+
+type transport struct {
+	inj  *Injector
+	base http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	latency, primary := t.inj.decide(req.Method, req.URL.Path)
+	sleepCtx(req.Context().Done(), latency)
+	if primary == nil {
+		return t.base.RoundTrip(req)
+	}
+	switch r := primary.rule; r.Kind {
+	case KindStatus:
+		if req.Body != nil {
+			_ = req.Body.Close()
+		}
+		body := fmt.Sprintf("{\n  \"error\": \"fault: injected %d (rule %s)\"\n}\n", r.Status, r.Name)
+		resp := &http.Response{
+			Status:        fmt.Sprintf("%d %s", r.Status, http.StatusText(r.Status)),
+			StatusCode:    r.Status,
+			Proto:         req.Proto,
+			ProtoMajor:    req.ProtoMajor,
+			ProtoMinor:    req.ProtoMinor,
+			Header:        make(http.Header),
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}
+		resp.Header.Set("Content-Type", "application/json; charset=utf-8")
+		if r.RetryAfter != "" {
+			resp.Header.Set("Retry-After", r.RetryAfter)
+		}
+		return resp, nil
+	case KindReset:
+		if req.Body != nil {
+			_ = req.Body.Close()
+		}
+		return nil, fmt.Errorf("fault: injected connection reset (rule %s): %w", r.Name, syscall.ECONNRESET)
+	case KindTruncate:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, remaining: resp.ContentLength / 2}
+		return resp, nil
+	default:
+		return t.base.RoundTrip(req)
+	}
+}
+
+// truncatedBody delivers at most remaining bytes of rc, then fails with
+// io.ErrUnexpectedEOF — the same failure shape a connection dropped mid-body
+// produces. With an unknown Content-Length (remaining <= 0 from -1/2) it
+// fails on the first read.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF {
+		err = nil
+	}
+	if err == nil && b.remaining <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }

@@ -31,13 +31,19 @@ import (
 //     hand-maintained list had missed;
 //   - internal/serve: the HTTP JSON API bodies (corpus listings, scrollbar
 //     levels, witness reports), whose encoding order clients see — reachable
-//     from the difftest entry points via the HTTP-backed runner.
+//     from the difftest entry points via the HTTP-backed runner;
+//   - internal/client, internal/fault: the resilient API client and the
+//     fault injector, reachable from the difftest entry points via the
+//     chaos runner — the client relays wire bodies and the injector's
+//     middleware replays recorded response headers, both user-visible.
 var DefaultResultPackages = []string{
 	"internal/analysis",
+	"internal/client",
 	"internal/core",
 	"internal/datagen",
 	"internal/difftest",
 	"internal/entity",
+	"internal/fault",
 	"internal/obs",
 	"internal/ontology",
 	"internal/partition",

@@ -74,9 +74,6 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 // writeError maps err onto an ErrorJSON body.
 func writeError(w http.ResponseWriter, code int, err error) {
-	if code == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
-	}
 	writeJSON(w, code, ErrorJSON{Error: err.Error()})
 }
 
@@ -98,8 +95,17 @@ func statusOf(err error) int {
 	}
 }
 
-// fail writes the mapped error response.
-func fail(w http.ResponseWriter, err error) { writeError(w, statusOf(err), err) }
+// fail writes the mapped error response. Backpressure and draining answers
+// (429/503) carry a Retry-After derived from the current job backlog and the
+// observed job latency, so clients pace their retries to the server's actual
+// drain rate instead of a fixed guess.
+func (s *Service) fail(w http.ResponseWriter, err error) {
+	code := statusOf(err)
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
+	writeError(w, code, err)
+}
 
 // decodeBody strictly decodes a JSON request body into v.
 func decodeBody(req *http.Request, v any) error {
@@ -122,6 +128,7 @@ func pathInt(req *http.Request, name string) (int, error) {
 
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.Draining() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
@@ -135,12 +142,12 @@ func (s *Service) handleListCorpora(w http.ResponseWriter, _ *http.Request) {
 func (s *Service) handleCreateCorpus(w http.ResponseWriter, req *http.Request) {
 	var body CreateCorpusRequest
 	if err := decodeBody(req, &body); err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	info, err := s.CreateCorpus(body)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
@@ -149,7 +156,7 @@ func (s *Service) handleCreateCorpus(w http.ResponseWriter, req *http.Request) {
 func (s *Service) handleGetCorpus(w http.ResponseWriter, req *http.Request) {
 	info, err := s.GetCorpus(req.PathValue("id"))
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -157,7 +164,7 @@ func (s *Service) handleGetCorpus(w http.ResponseWriter, req *http.Request) {
 
 func (s *Service) handleDeleteCorpus(w http.ResponseWriter, req *http.Request) {
 	if err := s.DeleteCorpus(req.PathValue("id")); err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -166,12 +173,12 @@ func (s *Service) handleDeleteCorpus(w http.ResponseWriter, req *http.Request) {
 func (s *Service) handleIngest(w http.ResponseWriter, req *http.Request) {
 	var body IngestRequest
 	if err := decodeBody(req, &body); err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	resp, err := s.Ingest(req.PathValue("id"), body)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -180,7 +187,7 @@ func (s *Service) handleIngest(w http.ResponseWriter, req *http.Request) {
 func (s *Service) handlePartitions(w http.ResponseWriter, req *http.Request) {
 	resp, err := s.Partitions(req.PathValue("id"))
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -190,13 +197,13 @@ func (s *Service) handleDiscover(w http.ResponseWriter, req *http.Request) {
 	body := DiscoverRequest{}
 	if req.ContentLength != 0 {
 		if err := decodeBody(req, &body); err != nil {
-			fail(w, err)
+			s.fail(w, err)
 			return
 		}
 	}
-	job, err := s.StartDiscover(req.PathValue("id"), body)
+	job, err := s.StartDiscover(req.PathValue("id"), body, req.Header.Get("Idempotency-Key"))
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job)
@@ -209,12 +216,12 @@ func (s *Service) handleJobStatus(w http.ResponseWriter, req *http.Request) {
 	case "true", "1":
 		wait = true
 	default:
-		fail(w, fmt.Errorf("%w: wait=%q (want true or false)", ErrBadRequest, v))
+		s.fail(w, fmt.Errorf("%w: wait=%q (want true or false)", ErrBadRequest, v))
 		return
 	}
 	status, err := s.JobStatus(req.Context(), req.PathValue("id"), req.PathValue("job"), wait)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, status)
@@ -223,7 +230,7 @@ func (s *Service) handleJobStatus(w http.ResponseWriter, req *http.Request) {
 func (s *Service) handleJobResult(w http.ResponseWriter, req *http.Request) {
 	res, err := s.JobResult(req.PathValue("id"), req.PathValue("job"))
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -232,12 +239,12 @@ func (s *Service) handleJobResult(w http.ResponseWriter, req *http.Request) {
 func (s *Service) handleScrollbar(w http.ResponseWriter, req *http.Request) {
 	level, err := pathInt(req, "level")
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	resp, err := s.Scrollbar(req.PathValue("id"), level)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -246,12 +253,12 @@ func (s *Service) handleScrollbar(w http.ResponseWriter, req *http.Request) {
 func (s *Service) handleWitness(w http.ResponseWriter, req *http.Request) {
 	partition, err := pathInt(req, "partition")
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	resp, err := s.Witness(req.PathValue("id"), partition)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool errors returned by Submit; handlers map them to 429 and 503.
@@ -28,7 +29,8 @@ type Pool struct {
 	mu       sync.Mutex
 	draining bool
 
-	wg sync.WaitGroup
+	running atomic.Int64
+	wg      sync.WaitGroup
 }
 
 // NewPool starts workers goroutines consuming a queue of depth queueDepth.
@@ -47,7 +49,9 @@ func NewPool(workers, queueDepth int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for fn := range p.queue {
+				p.running.Add(1)
 				fn()
+				p.running.Add(-1)
 			}
 		}()
 	}
@@ -74,6 +78,13 @@ func (p *Pool) Submit(fn func()) error {
 		return ErrQueueFull
 	}
 }
+
+// Queued returns the number of accepted tasks not yet picked up by a worker.
+// Together with Running it sizes the backlog behind a 429's Retry-After.
+func (p *Pool) Queued() int { return len(p.queue) }
+
+// Running returns the number of tasks currently executing on workers.
+func (p *Pool) Running() int { return int(p.running.Load()) }
 
 // Drain stops intake and waits for every queued and running task to finish,
 // or for ctx to expire. It is idempotent; later Submits fail with

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLongPollGoroutineHygiene pins long-poll cancellation: N clients start
+// ?wait=true long-polls against a gated job and abandon them (context
+// cancellation); once the connections die, the server's goroutine count must
+// return to its pre-poll baseline — a leaked goroutine per abandoned poll
+// would show up immediately at N=25.
+func TestLongPollGoroutineHygiene(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	_, ts := newTestServer(t, Options{
+		Workers:        1,
+		RequestTimeout: time.Minute, // long-polls end by cancellation, not timeout
+		BeforeJob:      func(string, string) { <-release },
+	})
+	mkCorpus(t, ts.URL, "g", "scholar")
+	code, body, _ := doReq(t, http.MethodPost, ts.URL+"/v1/corpora/g/discover", nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("discover: status %d: %s", code, body)
+	}
+	var job JobJSON
+	if err := json.Unmarshal([]byte(body), &job); err != nil {
+		t.Fatal(err)
+	}
+
+	// Separate client without keep-alives so abandoned polls do not linger
+	// as idle pooled connections (each closed conn's goroutines must exit).
+	hc := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	baseline := runtime.NumGoroutine()
+
+	const polls = 25
+	var wg sync.WaitGroup
+	for i := 0; i < polls; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+				ts.URL+"/v1/corpora/g/status/"+job.Job+"?wait=true", nil)
+			if err != nil {
+				return
+			}
+			go func() {
+				// Abandon the poll shortly after it starts blocking.
+				time.Sleep(10 * time.Millisecond)
+				cancel()
+			}()
+			resp, err := hc.Do(req)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Cancellation propagation is asynchronous; poll the goroutine count
+	// until it settles back to the baseline (with slack for runtime and
+	// net/http housekeeping goroutines that are not per-request).
+	const slack = 5
+	deadlineTicks := 500 // 500 × 10ms = 5s budget
+	for tick := 0; ; tick++ {
+		runtime.GC() // nudge finalizer-driven conn cleanup
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			break
+		}
+		if tick >= deadlineTicks {
+			t.Fatalf("goroutines after %d abandoned long-polls: %d, baseline %d (+%d slack) — long-poll leak",
+				polls, n, baseline, slack)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSubmitDrainRace pins the Submit/Drain race under -race: submitters
+// hammering a pool while Drain closes it must observe only clean outcomes —
+// accepted, ErrQueueFull (transient backpressure), or ErrDraining — never a
+// send-on-closed-channel panic; and once Drain returns, Submit must always
+// answer ErrDraining.
+func TestSubmitDrainRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		p := NewPool(2, 4)
+		const submitters = 8
+		start := make(chan struct{})
+		badErr := make([]error, submitters) // per-index slots: no shared writes
+		var wg sync.WaitGroup
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for {
+					err := p.Submit(func() {})
+					switch {
+					case err == nil, errors.Is(err, ErrQueueFull):
+						continue // keep racing the drain
+					case errors.Is(err, ErrDraining):
+						return // clean loss of the race
+					default:
+						badErr[g] = err
+						return
+					}
+				}
+			}(g)
+		}
+		drainErr := make(chan error, 1)
+		go func() {
+			<-start
+			drainErr <- p.Drain(context.Background())
+		}()
+		close(start)
+		if err := <-drainErr; err != nil {
+			t.Fatalf("round %d: drain: %v", round, err)
+		}
+		wg.Wait()
+		for g, err := range badErr {
+			if err != nil {
+				t.Fatalf("round %d: submitter %d got unexpected error: %v", round, g, err)
+			}
+		}
+		if err := p.Submit(func() {}); !errors.Is(err, ErrDraining) {
+			t.Fatalf("round %d: post-drain Submit = %v, want ErrDraining", round, err)
+		}
+	}
+}
+
+// TestRetryAfterDerived pins the Retry-After derivation: once jobs have
+// completed (the latency EWMA has samples) and the pool is saturated, a 429
+// must carry a Retry-After computed from backlog × observed latency — still
+// a sane integer in [1, 60] — and a draining 503 must carry one too.
+func TestRetryAfterDerived(t *testing.T) {
+	svc, ts := newTestServer(t, Options{Workers: 1, QueueDepth: -1})
+	mkCorpus(t, ts.URL, "g", "scholar")
+	if code, body, _ := doReq(t, http.MethodPost, ts.URL+"/v1/corpora/g/entities", ingestBody(t, scholarGroup())); code != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", code, body)
+	}
+	// Feed the EWMA a synthetic slow-job sample so derivation has signal
+	// (real jobs on this corpus are too fast to move a seconds-granularity
+	// header).
+	svc.observeJobDuration(30 * time.Second)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	svc.opts.BeforeJob = func(string, string) { close(entered); <-release }
+	for {
+		code, body, _ := doReq(t, http.MethodPost, ts.URL+"/v1/corpora/g/discover", nil)
+		if code == http.StatusAccepted {
+			break
+		}
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("discover: status %d: %s", code, body)
+		}
+	}
+	<-entered
+
+	code, _, hdr := doReq(t, http.MethodPost, ts.URL+"/v1/corpora/g/discover", nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("discover on saturated pool: status %d, want 429", code)
+	}
+	ra, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("429 Retry-After %q is not an integer: %v", hdr.Get("Retry-After"), err)
+	}
+	// One running job + the new submission over one worker at ~30s/job
+	// derives 2×30s, clamped to 60 — far from the old fixed "1".
+	if ra < 30 || ra > 60 {
+		t.Fatalf("derived Retry-After = %d, want within [30, 60] for a 30s-EWMA backlog", ra)
+	}
+
+	release <- struct{}{} // let the gated job finish so Drain can complete
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	code, _, hdr = doReq(t, http.MethodGet, ts.URL+"/healthz", nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: status %d, want 503", code)
+	}
+	if _, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil {
+		t.Fatalf("draining 503 Retry-After %q is not an integer: %v", hdr.Get("Retry-After"), err)
+	}
+	code, _, hdr = doReq(t, http.MethodPost, ts.URL+"/v1/corpora/g/discover", nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("discover while draining: status %d, want 503", code)
+	}
+	if _, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil {
+		t.Fatalf("draining discover 503 Retry-After %q is not an integer: %v", hdr.Get("Retry-After"), err)
+	}
+}
+
+// TestIdempotencyKeyDedupes pins the discover dedupe at the HTTP surface: a
+// replayed Idempotency-Key returns the original job (same ID, 202) without
+// growing the corpus job count; a different key enqueues a fresh job.
+func TestIdempotencyKeyDedupes(t *testing.T) {
+	svc, ts := newTestServer(t, Options{Workers: 2})
+	mkCorpus(t, ts.URL, "g", "scholar")
+	if code, body, _ := doReq(t, http.MethodPost, ts.URL+"/v1/corpora/g/entities", ingestBody(t, scholarGroup())); code != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", code, body)
+	}
+	discover := func(key string) JobJSON {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/corpora/g/discover", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != "" {
+			req.Header.Set("Idempotency-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("discover (key %q): status %d", key, resp.StatusCode)
+		}
+		var job JobJSON
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		return job
+	}
+
+	first := discover("k1")
+	replay := discover("k1")
+	if replay.Job != first.Job {
+		t.Fatalf("replayed key produced job %q, want original %q", replay.Job, first.Job)
+	}
+	other := discover("k2")
+	if other.Job == first.Job {
+		t.Fatal("distinct key reused the original job")
+	}
+	unkeyed := discover("")
+	if unkeyed.Job == first.Job || unkeyed.Job == other.Job {
+		t.Fatalf("unkeyed discover reused existing job %q", unkeyed.Job)
+	}
+	info, err := svc.GetCorpus("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Jobs != 3 {
+		t.Fatalf("corpus job count = %d, want 3 (replay deduped)", info.Jobs)
+	}
+}

@@ -273,7 +273,7 @@ func TestServerGracefulShutdown(t *testing.T) {
 		t.Fatalf("job result after shutdown: %v", err)
 	}
 	// New work is refused.
-	if _, err := srv.Service().StartDiscover("g", DiscoverRequest{}); !errors.Is(err, ErrDraining) {
+	if _, err := srv.Service().StartDiscover("g", DiscoverRequest{}, ""); !errors.Is(err, ErrDraining) {
 		t.Fatalf("discover after shutdown: %v, want ErrDraining", err)
 	}
 	// The listener is closed.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -144,6 +145,10 @@ type corpus struct {
 	sess    *core.Session
 	jobSeq  int
 	jobs    map[string]*Job
+	// idem maps Idempotency-Key values to the job each first created, so a
+	// retried discover submission returns the original job instead of
+	// enqueueing a duplicate.
+	idem map[string]string
 	// last is the most recent successfully completed discovery (and the job
 	// that produced it); the scrollbar and witness endpoints serve it.
 	last    *core.Result
@@ -161,6 +166,12 @@ type Service struct {
 	mu       sync.RWMutex
 	corpora  map[string]*corpus
 	draining bool
+
+	// latMu guards the EWMA of observed job wall-clock durations feeding
+	// Retry-After derivation.
+	latMu      sync.Mutex
+	avgJobSecs float64
+	jobSamples int
 }
 
 // NewService builds a Service and starts its worker pool.
@@ -229,6 +240,7 @@ func (s *Service) CreateCorpus(req CreateCorpusRequest) (CorpusJSON, error) {
 	c := &corpus{
 		id: req.ID, profile: req.Profile, prof: prof,
 		group: g, sess: sess, jobs: make(map[string]*Job),
+		idem: make(map[string]string),
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -358,7 +370,13 @@ func (s *Service) Partitions(id string) (PartitionsJSON, error) {
 // pair alone — byte-identical to an in-process Discover call — regardless of
 // what is ingested while it runs. Pool backpressure surfaces as
 // ErrQueueFull, shutdown as ErrDraining.
-func (s *Service) StartDiscover(id string, req DiscoverRequest) (JobJSON, error) {
+//
+// A non-empty idemKey makes the submission idempotent: the first request
+// under a key enqueues a job and records the binding; any replay of the same
+// key on this corpus returns that original job's current status instead of
+// enqueueing again. That lets a client retry a discover POST through
+// timeouts, resets and truncated responses without ever duplicating work.
+func (s *Service) StartDiscover(id string, req DiscoverRequest, idemKey string) (JobJSON, error) {
 	if s.Draining() {
 		return JobJSON{}, ErrDraining
 	}
@@ -372,6 +390,11 @@ func (s *Service) StartDiscover(id string, req DiscoverRequest) (JobJSON, error)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if idemKey != "" {
+		if jid, seen := c.idem[idemKey]; seen {
+			return jobJSON(c.id, c.jobs[jid]), nil
+		}
+	}
 	job := &Job{
 		ID:           fmt.Sprintf("job-%d", c.jobSeq+1),
 		IntraWorkers: req.IntraWorkers,
@@ -399,7 +422,9 @@ func (s *Service) StartDiscover(id string, req DiscoverRequest) (JobJSON, error)
 		if hook != nil {
 			hook(c.id, job.ID)
 		}
+		start := obs.Now()
 		res, err := core.DIMEPlus(snapshot, opts)
+		s.observeJobDuration(obs.Since(start))
 		job.finish(res, err)
 		if err == nil {
 			c.mu.Lock()
@@ -413,7 +438,45 @@ func (s *Service) StartDiscover(id string, req DiscoverRequest) (JobJSON, error)
 	}
 	c.jobSeq++
 	c.jobs[job.ID] = job
+	if idemKey != "" {
+		c.idem[idemKey] = job.ID
+	}
 	return jobJSON(c.id, job), nil
+}
+
+// observeJobDuration folds one completed job's wall-clock duration into the
+// EWMA behind Retry-After derivation (0.8 history, 0.2 new sample; the first
+// sample seeds the average).
+func (s *Service) observeJobDuration(d time.Duration) {
+	s.latMu.Lock()
+	defer s.latMu.Unlock()
+	secs := d.Seconds()
+	if s.jobSamples == 0 {
+		s.avgJobSecs = secs
+	} else {
+		s.avgJobSecs = 0.8*s.avgJobSecs + 0.2*secs
+	}
+	s.jobSamples++
+}
+
+// retryAfterSeconds derives the Retry-After value for 429/503 responses from
+// the observed backlog: with q queued and r running jobs, a new submission
+// waits roughly avgJob * (q + r + 1) / workers seconds for a slot. The value
+// is clamped to [1, 60] — before any job has completed (average unknown, 0)
+// it reports the floor, matching the previous fixed behavior.
+func (s *Service) retryAfterSeconds() int {
+	s.latMu.Lock()
+	avg := s.avgJobSecs
+	s.latMu.Unlock()
+	pending := s.pool.Queued() + s.pool.Running()
+	secs := int(math.Ceil(avg * float64(pending+1) / float64(s.opts.Workers)))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
 }
 
 // jobJSON renders a job status.

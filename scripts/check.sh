@@ -14,7 +14,10 @@
 # demands byte-identity with the in-process results, plus the endpoint
 # golden, backpressure, graceful-shutdown and concurrent-clients stress
 # tests under internal/serve and cmd/dimed (`make serve-test` runs just
-# those).
+# those), and the chaos differential suite (dime_chaos_difftest_test.go),
+# which replays that corpus through deterministic fault injection with the
+# resilient client and demands byte-identical results, deduplicated jobs and
+# zero surfaced failures (`make chaos-test` runs just that slice).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
