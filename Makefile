@@ -26,13 +26,16 @@ chaos-test:
 	$(GO) test -race -run TestDifferentialChaosHTTP .
 	$(GO) test -race ./internal/fault/ ./internal/client/
 
-# Static analysis with the checked-in baseline and allocation budget: fails
-# only on findings not recorded in lint.baseline.json (kept empty — fix or
-# //lint:ignore instead of baselining whenever possible) or hot-path
-# allocation sites beyond alloc.budget.json (regenerate deliberately with
+# Static analysis with the checked-in baselines and allocation budget: fails
+# only on findings not recorded in lint.baseline.json or lock.baseline.json
+# (both kept empty — fix or //lint:ignore instead of baselining whenever
+# possible) or hot-path allocation sites beyond alloc.budget.json (regenerate
+# deliberately with
 # `go run ./cmd/dimelint -write-alloc-budget alloc.budget.json ./...`).
+# lock.baseline.json gates the locklint concurrency suite
+# (lockorder/heldcall/goleak/ctxflow).
 lint:
-	$(GO) run ./cmd/dimelint -baseline lint.baseline.json -alloc-budget alloc.budget.json ./...
+	$(GO) run ./cmd/dimelint -baseline lint.baseline.json -alloc-budget alloc.budget.json -lock-baseline lock.baseline.json ./...
 
 # Ranked hot-path allocation sites (what alloc.budget.json gates).
 alloc-report:

@@ -15,6 +15,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"dime/internal/difftest"
 )
 
 // syncBuffer is an io.Writer safe for concurrent writes (run's goroutine)
@@ -67,12 +69,18 @@ var servingLine = regexp.MustCompile(`serving on http://(\S+)`)
 
 // TestRunServesAndShutsDownGracefully boots dimed on an ephemeral port,
 // drives one corpus round trip over real TCP, injects SIGTERM through the
-// notifySignals seam and requires a clean drain and exit 0.
+// notifySignals seam and requires a clean drain, exit 0, and every goroutine
+// the server spawned released.
 func TestRunServesAndShutsDownGracefully(t *testing.T) {
 	sigc := make(chan chan<- os.Signal, 1)
 	orig := notifySignals
 	notifySignals = func(ch chan<- os.Signal) { sigc <- ch }
 	defer func() { notifySignals = orig }()
+
+	// "Drained cleanly" must mean it: after run returns, the listener, the
+	// worker pool and every connection goroutine are gone.
+	snap := difftest.Goroutines()
+	defer snap.CheckReleased(t)
 
 	var out, errb syncBuffer
 	exit := make(chan int, 1)

@@ -1,8 +1,9 @@
 // Command dimelint runs DIME's static-analysis suite (internal/lint) over
 // the module and reports violations of the codebase's correctness
 // invariants with file:line diagnostics — per-package analyzers plus the
-// interprocedural detersafe / panicprop / resultpkgs / alloclint passes over
-// the module call graph.
+// interprocedural detersafe / panicprop / resultpkgs / alloclint passes and
+// the locklint concurrency suite (lockorder / heldcall / goleak / ctxflow)
+// over the module call graph.
 //
 // Usage:
 //
@@ -14,15 +15,19 @@
 //	//lint:ignore <analyzer|all> <reason>
 //
 // or accepted in a baseline file (see -baseline). Hot-path allocation
-// findings (alloclint) are budgeted separately through -alloc-budget, so the
-// correctness baseline and the performance budget evolve independently;
-// -alloc-report prints the underlying ranked allocation sites. With -only,
-// baseline and budget entries for unselected analyzers are ignored entirely:
-// they are neither applied nor reported stale, so a narrowed run never
-// invents staleness. Exit codes:
+// findings (alloclint) are budgeted separately through -alloc-budget, and
+// the locklint analyzers gate against their own -lock-baseline, so the
+// correctness baseline, the performance budget and the concurrency baseline
+// evolve independently; -alloc-report prints the underlying ranked
+// allocation sites, and -graph dumps the call graph and lock-acquisition
+// graph as DOT. With -only, baseline and budget entries for unselected
+// analyzers are ignored entirely: they are neither applied nor reported
+// stale, so a narrowed run never invents staleness ("locklint" in -only
+// expands to the four concurrency analyzers). Exit codes:
 //
 //	0  no findings (or every finding is covered by baseline/budget)
-//	1  findings (with -baseline/-alloc-budget: findings not covered)
+//	1  findings (with -baseline/-alloc-budget/-lock-baseline: findings not
+//	   covered)
 //	2  usage or load error (bad flags, unknown -only analyzer, unmatched
 //	   patterns, unreadable baseline/budget)
 package main
@@ -96,6 +101,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	only := fs.String("only", "", "comma-separated `analyzers` to run (see -list); others are skipped and their baseline/budget entries ignored")
 	allocBudget := fs.String("alloc-budget", "", "accept alloclint findings recorded in this budget `file`; fail only when a hot-path allocation site is added")
 	writeAllocBudget := fs.String("write-alloc-budget", "", "record current alloclint findings to this budget `file` and exit 0")
+	lockBaseline := fs.String("lock-baseline", "", "accept locklint (lockorder/heldcall/goleak/ctxflow) findings recorded in this baseline `file`; fail only on new ones")
+	writeLockBaseline := fs.String("write-lock-baseline", "", "record current locklint findings to this baseline `file` and exit 0")
+	graph := fs.Bool("graph", false, "dump the module call graph and lock-acquisition graph as DOT and exit")
 	allocReport := fs.Bool("alloc-report", false, "print the ranked hot-path allocation-site report and exit (honors -json)")
 	typeErrors := fs.Bool("type-errors", false, "also print type-check errors (findings are best-effort when present)")
 	fs.Usage = func() {
@@ -152,22 +160,41 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *allocReport {
 		return runAllocReport(pkgs, modRoot, *asJSON, stdout, stderr)
 	}
+	if *graph {
+		g := lint.BuildCallGraph(pkgs)
+		if err := g.WriteDOT(stdout); err != nil {
+			return fatal(stderr, err)
+		}
+		if err := lint.BuildLockFacts(g).WriteDOT(stdout); err != nil {
+			return fatal(stderr, err)
+		}
+		return 0
+	}
 
 	diags := lint.Run(pkgs, analyzers)
 
-	// alloclint findings gate against the allocation budget; everything else
-	// gates against the correctness baseline. The split keeps a perf-budget
-	// bump from touching lint.baseline.json and vice versa.
-	var allocDiags, restDiags []lint.Diagnostic
+	// alloclint findings gate against the allocation budget, the locklint
+	// analyzers against the concurrency baseline, and everything else against
+	// the correctness baseline. The three-way split keeps a perf-budget bump
+	// or an accepted concurrency finding from touching lint.baseline.json and
+	// vice versa.
+	lockNames := map[string]bool{}
+	for _, name := range lint.LockLintNames() {
+		lockNames[name] = true
+	}
+	var allocDiags, lockDiags, restDiags []lint.Diagnostic
 	for _, d := range diags {
-		if d.Analyzer == (lint.AllocLint{}).Name() {
+		switch {
+		case d.Analyzer == (lint.AllocLint{}).Name():
 			allocDiags = append(allocDiags, d)
-		} else {
+		case lockNames[d.Analyzer]:
+			lockDiags = append(lockDiags, d)
+		default:
 			restDiags = append(restDiags, d)
 		}
 	}
 
-	if *writeBaseline != "" || *writeAllocBudget != "" {
+	if *writeBaseline != "" || *writeAllocBudget != "" || *writeLockBaseline != "" {
 		if *writeBaseline != "" {
 			b := lint.NewBaseline(restDiags, modRoot)
 			if err := b.Write(*writeBaseline); err != nil {
@@ -182,6 +209,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintf(stderr, "dimelint: recorded %d alloc site(s) to %s\n", len(allocDiags), *writeAllocBudget)
 		}
+		if *writeLockBaseline != "" {
+			b := lint.NewBaseline(lockDiags, modRoot)
+			if err := b.Write(*writeLockBaseline); err != nil {
+				return fatal(stderr, err)
+			}
+			fmt.Fprintf(stderr, "dimelint: recorded %d locklint finding(s) to %s\n", len(lockDiags), *writeLockBaseline)
+		}
 		return 0
 	}
 
@@ -192,7 +226,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return fatal(stderr, err)
 		}
 		keepEntry := func(analyzer string) bool {
-			return selected[analyzer] && analyzer != (lint.AllocLint{}).Name()
+			return selected[analyzer] && analyzer != (lint.AllocLint{}).Name() && !lockNames[analyzer]
 		}
 		fresh, stale := filterBaseline(b, keepEntry).Apply(restDiags, modRoot)
 		restDiags = fresh
@@ -208,8 +242,26 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		allocDiags = fresh
 		staleOut = append(staleOut, stale...)
 	}
+	if *lockBaseline != "" {
+		anySelected := false
+		for name := range lockNames {
+			if selected[name] {
+				anySelected = true
+			}
+		}
+		if anySelected {
+			b, err := lint.ReadBaseline(*lockBaseline)
+			if err != nil {
+				return fatal(stderr, err)
+			}
+			keepEntry := func(analyzer string) bool { return selected[analyzer] && lockNames[analyzer] }
+			fresh, stale := filterBaseline(b, keepEntry).Apply(lockDiags, modRoot)
+			lockDiags = fresh
+			staleOut = append(staleOut, stale...)
+		}
+	}
 
-	diags = append(restDiags, allocDiags...)
+	diags = append(append(restDiags, lockDiags...), allocDiags...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -297,22 +349,41 @@ func runAllocReport(pkgs []*lint.Package, modRoot string, asJSON bool, stdout, s
 }
 
 // selectAnalyzers resolves a comma-separated -only list against the suite.
+// The group name "locklint" expands to the four concurrency analyzers.
 func selectAnalyzers(all []lint.Analyzer, names string) ([]lint.Analyzer, error) {
 	byName := make(map[string]lint.Analyzer, len(all))
 	for _, a := range all {
 		byName[a.Name()] = a
 	}
+	added := map[string]bool{}
 	var sel []lint.Analyzer
+	add := func(name string) error {
+		a, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("unknown analyzer %q in -only (see -list)", name)
+		}
+		if !added[name] {
+			added[name] = true
+			sel = append(sel, a)
+		}
+		return nil
+	}
 	for _, name := range strings.Split(names, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		a, ok := byName[name]
-		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q in -only (see -list)", name)
+		if name == "locklint" {
+			for _, sub := range lint.LockLintNames() {
+				if err := add(sub); err != nil {
+					return nil, err
+				}
+			}
+			continue
 		}
-		sel = append(sel, a)
+		if err := add(name); err != nil {
+			return nil, err
+		}
 	}
 	if len(sel) == 0 {
 		return nil, fmt.Errorf("-only selected no analyzers")

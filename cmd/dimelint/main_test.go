@@ -343,6 +343,167 @@ func TestRunAllocReportGolden(t *testing.T) {
 	}
 }
 
+// lockGolden is the locklint text output over the lockmod fixture: an AB/BA
+// lock-order inversion reported from both sides, a direct sleep under a held
+// lock, and a blocking call chain under a held lock.
+const lockGolden = `lib.go:20:2: lockorder: lock order inversion: lockmod.wm acquired while lockmod.PushPull holds lockmod.mu, but another path acquires them in the opposite order (cycle: lockmod.mu -> lockmod.wm): potential deadlock
+lib.go:28:2: lockorder: lock order inversion: lockmod.mu acquired while lockmod.PullPush holds lockmod.wm, but another path acquires them in the opposite order (cycle: lockmod.mu -> lockmod.wm): potential deadlock
+lib.go:36:2: heldcall: time.Sleep while lockmod.SlowFlush holds lockmod.mu
+lib.go:44:2: heldcall: call to lockmod.drain may block (time.Sleep; chain: lockmod.drain) while lockmod.Relay holds lockmod.wm
+`
+
+// leakGolden is the goleak text output over the leakmod fixture; the
+// Stoppable counterpart with a quit-channel receive must stay silent.
+const leakGolden = `lib.go:8:2: goleak: goroutine spawned in leakmod.Serve runs an unbounded loop with no cancellation path (no channel or ctx.Done receive anywhere in its body); it outlives the request — reachable from leakmod.Serve (chain: leakmod.Serve)
+`
+
+// ctxGolden is the ctxflow text output over the ctxmod fixture; the Forward
+// counterpart that threads its ctx must stay silent.
+const ctxGolden = `lib.go:13:8: ctxflow: context.Background() in ctxmod.Handle discards the caller's context on a path reachable from entry point ctxmod.Handle (chain: ctxmod.Handle); thread the caller's ctx through instead
+lib.go:17:11: ctxflow: parameter "ctx" in ctxmod.Wait is received but never used, yet the function does blocking or context-aware work; pass the caller's ctx to the downstream calls or drop the parameter
+`
+
+// lockGraphGolden is the -graph DOT dump over lockmod: the call graph
+// followed by the lock-acquisition graph, whose AB/BA pair is visible as the
+// two opposing edges.
+const lockGraphGolden = `digraph callgraph {
+  "lockmod.PullPush";
+  "lockmod.PushPull";
+  "lockmod.Relay";
+  "lockmod.Relay" -> "lockmod.drain" [label="call"];
+  "lockmod.SlowFlush";
+  "lockmod.drain";
+}
+digraph lockgraph {
+  "lockmod.mu";
+  "lockmod.wm";
+  "lockmod.mu" -> "lockmod.wm" [label="lockmod.PushPull"];
+  "lockmod.wm" -> "lockmod.mu" [label="lockmod.PullPush"];
+}
+`
+
+// TestRunLockLintFixtures proves each locklint analyzer on its violating
+// fixture module with golden text output, via the -only locklint group
+// alias.
+func TestRunLockLintFixtures(t *testing.T) {
+	for _, tc := range []struct {
+		mod, golden string
+		findings    string
+	}{
+		{"lockmod", lockGolden, "4 finding(s)"},
+		{"leakmod", leakGolden, "1 finding(s)"},
+		{"ctxmod", ctxGolden, "2 finding(s)"},
+	} {
+		t.Run(tc.mod, func(t *testing.T) {
+			chdir(t, filepath.Join("testdata", "src", tc.mod))
+			code, stdout, stderr := runCLI(t, "-only", "locklint")
+			if code != 1 {
+				t.Fatalf("exit = %d, want 1 (findings); stderr: %s", code, stderr)
+			}
+			if stdout != tc.golden {
+				t.Errorf("stdout mismatch:\n--- got ---\n%s--- want ---\n%s", stdout, tc.golden)
+			}
+			if !strings.Contains(stderr, tc.findings) {
+				t.Errorf("stderr should count findings, got: %s", stderr)
+			}
+		})
+	}
+}
+
+// TestRunLockLintAlias checks that "locklint" in -only expands to exactly
+// the four concurrency analyzers.
+func TestRunLockLintAlias(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list", "-only", "locklint")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range lint.LockLintNames() {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list -only locklint missing %s:\n%s", name, stdout)
+		}
+	}
+	if strings.Contains(stdout, "detersafe") || strings.Contains(stdout, "alloclint") {
+		t.Errorf("-list -only locklint selected analyzers outside the group:\n%s", stdout)
+	}
+}
+
+// TestRunLockBaselineWorkflow checks the -lock-baseline split: locklint
+// findings gate against their own baseline, are invisible to -baseline, and
+// removing an entry resurfaces exactly that finding.
+func TestRunLockBaselineWorkflow(t *testing.T) {
+	lockBase := filepath.Join(t.TempDir(), "lock.baseline.json")
+	corrBase := filepath.Join(t.TempDir(), "baseline.json")
+	chdir(t, filepath.Join("testdata", "src", "lockmod"))
+
+	// Record the locklint findings; the correctness baseline stays empty —
+	// locklint findings must not leak into it.
+	code, _, stderr := runCLI(t, "-write-lock-baseline", lockBase, "-write-baseline", corrBase)
+	if code != 0 || !strings.Contains(stderr, "recorded 4 locklint finding(s)") {
+		t.Fatalf("write-lock-baseline: exit=%d stderr=%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "recorded 0 finding(s)") {
+		t.Fatalf("locklint findings leaked into the correctness baseline: %s", stderr)
+	}
+
+	// A fully lock-baselined run is clean.
+	code, stdout, stderr := runCLI(t, "-lock-baseline", lockBase)
+	if code != 0 || stdout != "" {
+		t.Fatalf("lock-baselined run: exit=%d stdout=%q stderr=%s", code, stdout, stderr)
+	}
+
+	// The same entries in -baseline do NOT cover locklint findings: the
+	// correctness baseline ignores lock analyzers entirely, so the findings
+	// stay fresh and the entries are not reported stale.
+	code, stdout, stderr = runCLI(t, "-baseline", lockBase)
+	if code != 1 || stdout != lockGolden {
+		t.Fatalf("-baseline must not cover locklint findings: exit=%d stdout=%q", code, stdout)
+	}
+	if strings.Contains(stderr, "stale") {
+		t.Errorf("-baseline reported locklint entries stale: %s", stderr)
+	}
+
+	// Dropping an entry makes exactly that finding fresh again — this is
+	// what an injected lock-order inversion looks like to `make check`.
+	// Baseline entries sort by (file, analyzer, message), so entry 0 is the
+	// heldcall "call to lockmod.drain" finding: lockGolden's last line.
+	b, err := lint.ReadBaseline(lockBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Findings = b.Findings[1:]
+	if err := b.Write(lockBase); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runCLI(t, "-lock-baseline", lockBase)
+	if code != 1 {
+		t.Fatalf("new-finding run: exit = %d, want 1", code)
+	}
+	trimmed := strings.TrimSuffix(lockGolden, "\n")
+	if want := lockGolden[strings.LastIndex(trimmed, "\n")+1:]; stdout != want {
+		t.Errorf("only the unbaselined finding should print:\n--- got ---\n%s--- want ---\n%s", stdout, want)
+	}
+
+	// With the lock analyzers unselected the lock baseline is not applied:
+	// no findings, no stale storm.
+	code, stdout, stderr = runCLI(t, "-only", "float-threshold", "-lock-baseline", lockBase)
+	if code != 0 || stdout != "" || strings.Contains(stderr, "stale") {
+		t.Fatalf("-only float-threshold with lock baseline: exit=%d stdout=%q stderr=%s", code, stdout, stderr)
+	}
+}
+
+// TestRunGraphGolden checks the -graph DOT dump of the call graph and
+// lock-acquisition graph over lockmod.
+func TestRunGraphGolden(t *testing.T) {
+	chdir(t, filepath.Join("testdata", "src", "lockmod"))
+	code, stdout, stderr := runCLI(t, "-graph")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if stdout != lockGraphGolden {
+		t.Errorf("graph mismatch:\n--- got ---\n%s--- want ---\n%s", stdout, lockGraphGolden)
+	}
+}
+
 func TestRunUsageAndLoadErrors(t *testing.T) {
 	chdir(t, filepath.Join("testdata", "src", "cleanmod"))
 	if code, _, _ := runCLI(t, "-definitely-not-a-flag"); code != 2 {

@@ -1,0 +1,28 @@
+// Package ctxmod is the ctxflow violation fixture: one entry manufactures
+// its own context.Background() instead of threading the caller's, and one
+// receives a ctx parameter it never uses while doing blocking work.
+package ctxmod
+
+import (
+	"context"
+	"time"
+)
+
+// Handle is a request entry that discards whatever deadline its caller had.
+func Handle() {
+	fetch(context.Background())
+}
+
+// Wait receives ctx but ignores it while blocking.
+func Wait(ctx context.Context) {
+	time.Sleep(time.Millisecond)
+}
+
+// Forward is the clean counterpart: the caller's ctx flows through.
+func Forward(ctx context.Context) {
+	fetch(ctx)
+}
+
+func fetch(ctx context.Context) {
+	_ = ctx
+}

@@ -1,0 +1,3 @@
+module leakmod
+
+go 1.22

@@ -1,0 +1,30 @@
+// Package leakmod is the goleak violation fixture: an exported entry spawns
+// a goroutine whose body loops forever with no channel or ctx.Done receive —
+// nothing can ever stop it.
+package leakmod
+
+// Serve starts the background pump and returns.
+func Serve() {
+	go func() {
+		for {
+			step()
+		}
+	}()
+}
+
+// Stoppable is the clean counterpart: the loop has a quit-channel receive,
+// so it must not be reported.
+func Stoppable(quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+			}
+			step()
+		}
+	}()
+}
+
+func step() {}

@@ -1,0 +1,49 @@
+// Package lockmod is the lockorder/heldcall violation fixture: two package
+// mutexes acquired in opposite orders on two paths (a classic AB/BA
+// deadlock), plus a sleep and a blocking call executed under a held lock.
+package lockmod
+
+import (
+	"sync"
+	"time"
+)
+
+var (
+	mu sync.Mutex
+	wm sync.Mutex
+)
+
+// PushPull locks mu then wm.
+func PushPull() {
+	mu.Lock()
+	defer mu.Unlock()
+	wm.Lock()
+	defer wm.Unlock()
+}
+
+// PullPush locks wm then mu: the inversion of PushPull.
+func PullPush() {
+	wm.Lock()
+	defer wm.Unlock()
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// SlowFlush sleeps while holding mu.
+func SlowFlush() {
+	mu.Lock()
+	defer mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// Relay calls the sleeper while holding wm, so the block arrives through a
+// call chain rather than directly.
+func Relay() {
+	wm.Lock()
+	defer wm.Unlock()
+	drain()
+}
+
+func drain() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,6 +1,7 @@
 package dime_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -31,6 +32,18 @@ func TestDifferentialChaosHTTP(t *testing.T) {
 	}
 	for _, seed := range []int64{1, 7, 0xC4A05} {
 		t.Run(fmt.Sprintf("chaos-seed-%d", seed), func(t *testing.T) {
+			// The replay runs under the test's own deadline: if retries ever
+			// grind, the context expires instead of the whole run hanging.
+			ctx := context.Background()
+			if dl, ok := t.Deadline(); ok {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithDeadline(ctx, dl)
+				defer cancel()
+			}
+			// Snapshot before the target exists, assert after it is torn
+			// down: the chaos run must not strand a single goroutine.
+			snap := difftest.Goroutines()
+			defer snap.CheckReleased(t)
 			tgt, done := difftest.NewChaosTarget(
 				serve.Options{Workers: 2},
 				difftest.ChaosOptions{Seed: seed, Rate: 0.15},
@@ -38,7 +51,7 @@ func TestDifferentialChaosHTTP(t *testing.T) {
 			defer done()
 			for _, c := range difftest.Corpus(n, 0x5E12E) {
 				t.Run(c.Name, func(t *testing.T) {
-					difftest.CheckChaos(t, tgt, c, 1, 2, 4)
+					difftest.CheckChaos(t, ctx, tgt, c, 1, 2, 4)
 				})
 			}
 			if fired := tgt.ServerFaults.Fired(); fired == 0 {

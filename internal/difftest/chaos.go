@@ -125,11 +125,11 @@ func NewChaosTarget(opts serve.Options, chaos ChaosOptions) (ChaosTarget, func()
 	return tgt, ts.Close
 }
 
-// CheckChaos runs the case through DiffChaos and fails the test with the
-// case name and seed on the first divergence.
-func CheckChaos(t TB, tgt ChaosTarget, c Case, workers ...int) {
+// CheckChaos runs the case through DiffChaos under the caller's context and
+// fails the test with the case name and seed on the first divergence.
+func CheckChaos(t TB, ctx context.Context, tgt ChaosTarget, c Case, workers ...int) {
 	t.Helper()
-	if err := c.DiffChaos(tgt, workers...); err != nil {
+	if err := c.DiffChaos(ctx, tgt, workers...); err != nil {
 		t.Fatalf("case %s (seed %d): %v", c.Name, c.Seed, err)
 	}
 }
@@ -140,15 +140,16 @@ func CheckChaos(t TB, tgt ChaosTarget, c Case, workers ...int) {
 // DIME+ result, exactly one job per (case, workers) submission — retried
 // discovers must dedupe on their Idempotency-Key — and a verified replay of
 // the first key. The scrollbar and witness endpoints are cross-checked like
-// the fault-free suite.
-func (c Case) DiffChaos(tgt ChaosTarget, workers ...int) error {
+// the fault-free suite. Every request runs under the caller's ctx, so a
+// test deadline or cancellation cuts the replay short instead of letting
+// retries grind on.
+func (c Case) DiffChaos(ctx context.Context, tgt ChaosTarget, workers ...int) error {
 	want, err := core.DIMEPlus(c.Group, core.Options{
 		Config: c.Config, Rules: c.Rules, IntraWorkers: 1, Probe: c.Probe,
 	})
 	if err != nil {
 		return fmt.Errorf("DIME+(in-process): %w", err)
 	}
-	ctx := context.Background()
 
 	profile := "case-" + c.Name
 	if err := tgt.Svc.RegisterProfile(profile, serve.Profile{Config: c.Config, Rules: c.Rules}); err != nil {

@@ -14,5 +14,9 @@ func All() []Analyzer {
 		PanicProp{},
 		ResultPkgs{},
 		AllocLint{},
+		LockOrder{},
+		HeldCall{},
+		GoLeak{},
+		CtxFlow{},
 	}
 }

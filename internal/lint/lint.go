@@ -121,9 +121,10 @@ type ModulePass struct {
 	// Graph is the module call graph over Pkgs.
 	Graph *CallGraph
 
-	ignores  ignoreSet
-	analyzer string
-	sink     *[]Diagnostic
+	ignores   ignoreSet
+	analyzer  string
+	sink      *[]Diagnostic
+	lockFacts *LockFacts
 }
 
 // Reportf records a finding at pos.

@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildFacts type-checks one fixture package and returns its lock facts.
+func buildFacts(t *testing.T, src string) *LockFacts {
+	t.Helper()
+	pkg := fixture(t, "dime", "fixture.go", src)
+	return BuildLockFacts(BuildCallGraph([]*Package{pkg}))
+}
+
+func TestLockFactsDeferUnlockInLoopFlagged(t *testing.T) {
+	pkg := fixture(t, "dime", "fixture.go", `package dime
+import "sync"
+var mu sync.Mutex
+func Drain(xs []int) {
+	for range xs {
+		mu.Lock()
+		defer mu.Unlock()
+	}
+}`)
+	diags := expect(t, pkg, LockOrder{}, 1)
+	if !strings.Contains(diags[0].Message, "defer releases dime.mu inside a loop") {
+		t.Errorf("want defer-in-loop finding, got: %s", diags[0].Message)
+	}
+}
+
+func TestLockFactsIIFEInLoopNotFlagged(t *testing.T) {
+	// The per-iteration IIFE is its own frame: its deferred unlock runs at
+	// the end of every iteration, so the idiom is correct and must be clean.
+	pkg := fixture(t, "dime", "fixture.go", `package dime
+import "sync"
+var mu sync.Mutex
+func Drain(xs []int) {
+	for range xs {
+		func() {
+			mu.Lock()
+			defer mu.Unlock()
+		}()
+	}
+}`)
+	expect(t, pkg, LockOrder{}, 0)
+}
+
+func TestLockFactsRLockRLockUnderWriterPressure(t *testing.T) {
+	// A re-entrant RLock deadlocks only when a writer queues between the two
+	// reads; the message must say so rather than claim a plain self-deadlock.
+	pkg := fixture(t, "dime", "fixture.go", `package dime
+import "sync"
+var mu sync.RWMutex
+func Nested() {
+	mu.RLock()
+	defer mu.RUnlock()
+	mu.RLock()
+	defer mu.RUnlock()
+}`)
+	diags := expect(t, pkg, LockOrder{}, 1)
+	if !strings.Contains(diags[0].Message, "deadlocks if a writer is waiting between the two RLocks") {
+		t.Errorf("want reader-reader warning, got: %s", diags[0].Message)
+	}
+}
+
+func TestLockFactsOnceDoLiteralInlined(t *testing.T) {
+	// The sync.Once.Do literal runs on the caller's stack with the caller's
+	// locks held: an acquisition inside it is charged to the enclosing
+	// function, so the a→b edge must exist in the lock graph.
+	lf := buildFacts(t, `package dime
+import "sync"
+var (
+	a, b sync.Mutex
+	once sync.Once
+)
+func Init() {
+	a.Lock()
+	defer a.Unlock()
+	once.Do(func() {
+		b.Lock()
+		defer b.Unlock()
+	})
+}`)
+	found := false
+	for _, e := range lf.edges {
+		if e.From == "dime.a" && e.To == "dime.b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want a->b lock edge from the inlined Once.Do literal, got edges: %+v", lf.edges)
+	}
+}
+
+func TestLockFactsGoroutineBodyNotChargedToParent(t *testing.T) {
+	// A `go func(){...}` body runs on its own stack after the parent
+	// returns: its acquisition of the same mutex is concurrency, not
+	// re-entrance, and must not produce a self-deadlock finding.
+	pkg := fixture(t, "dime", "fixture.go", `package dime
+import "sync"
+var mu sync.Mutex
+func Spawn(done chan struct{}) {
+	mu.Lock()
+	defer mu.Unlock()
+	go func() {
+		mu.Lock()
+		mu.Unlock()
+		close(done)
+	}()
+}`)
+	expect(t, pkg, LockOrder{}, 0)
+}
+
+func TestLockFactsCopiedMutexGetsDistinctLocalKey(t *testing.T) {
+	// A mutex value copied into a local is a different lock (vet's copylocks
+	// catches the copy itself); the fact layer keys it as a local of the
+	// copying function so it cannot alias the field's key across functions.
+	lf := buildFacts(t, `package dime
+import "sync"
+type box struct{ mu sync.Mutex }
+func Field(b *box) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+func Copied(b *box) {
+	mu := b.mu
+	mu.Lock()
+	mu.Unlock()
+}`)
+	keys := map[string]bool{}
+	for _, byKey := range lf.mayAcquire {
+		for k := range byKey {
+			keys[k] = true
+		}
+	}
+	if !keys["dime.box.mu"] {
+		t.Errorf("field mutex should key by receiver type, got keys: %v", keys)
+	}
+	local := ""
+	for k := range keys {
+		if strings.Contains(k, "(local)") {
+			local = k
+		}
+	}
+	if local == "" || local == "dime.box.mu" {
+		t.Errorf("copied mutex should get a distinct local key, got keys: %v", keys)
+	}
+}
+
+func TestLockFactsPromotedEmbeddedMutexKeysByOuterType(t *testing.T) {
+	// s.Lock() through an embedded sync.Mutex is the outer value's lock:
+	// both the promoted call and the explicit field path must agree on one
+	// key, or ordering across the two spellings would be invisible.
+	lf := buildFacts(t, `package dime
+import "sync"
+type store struct{ sync.Mutex }
+func Promoted(s *store) {
+	s.Lock()
+	s.Unlock()
+}
+func Explicit(s *store) {
+	s.Mutex.Lock()
+	s.Mutex.Unlock()
+}`)
+	keys := map[string]bool{}
+	for _, byKey := range lf.mayAcquire {
+		for k := range byKey {
+			keys[k] = true
+		}
+	}
+	if len(keys) != 1 || !keys["dime.store.Mutex"] {
+		t.Errorf("promoted and explicit spellings should share one key, got: %v", keys)
+	}
+}
+
+func TestLockFactsSummaryPropagatesThroughChain(t *testing.T) {
+	// mayAcquire reaches a fixpoint through static call chains: Top never
+	// touches a mutex directly but may acquire dime.mu two hops down.
+	lf := buildFacts(t, `package dime
+import "sync"
+var mu sync.Mutex
+func Top() { mid() }
+func mid() { leaf() }
+func leaf() {
+	mu.Lock()
+	mu.Unlock()
+}`)
+	if _, ok := lf.mayAcquire["dime.Top"]["dime.mu"]; !ok {
+		t.Errorf("Top should inherit leaf's acquisition, got: %+v", lf.mayAcquire["dime.Top"])
+	}
+}

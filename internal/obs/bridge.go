@@ -103,6 +103,7 @@ func (s *logSpan) Count(name string, delta int64) {
 
 func (s *logSpan) End() {
 	attrs := append([]slog.Attr{slog.Duration("dur", Since(s.start))}, s.attrs...)
+	//lint:ignore ctxflow the span outlives any request scope by design: End fires during teardown, and slog's handler only consults the ctx for trace decoration this bridge does not use
 	s.p.l.LogAttrs(context.Background(), s.p.level, s.name, attrs...)
 }
 
